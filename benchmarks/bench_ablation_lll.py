@@ -1,0 +1,113 @@
+"""A2 — ablation: greedy vs Lovász-Local-Lemma anchor placement (Section 5).
+
+The paper proves anchors can be spread out by randomly *shifting* tentative
+positions and invoking the LLL; we made that constructive via Moser–Tardos.
+This ablation compares the deterministic greedy placement against the
+randomized shifting: both must achieve coverage, the LLL variant should
+need few resamplings (the Moser–Tardos guarantee), and both decode to
+valid orientations.
+"""
+
+import random
+
+import pytest
+
+from repro.algorithms import trail_decomposition
+from repro.algorithms.lll import LLLInstance, moser_tardos
+from repro.graphs import cycle, torus
+from repro.local import LocalGraph
+from repro.schemas import (
+    BalancedOrientationSchema,
+    place_anchors_greedy,
+    place_anchors_lll,
+)
+
+from .common import print_table, run_once
+
+
+def _placement_comparison():
+    rows = []
+    for name, graph in (("cycle-300", cycle(300)), ("torus-10", torus(10, 10))):
+        g = LocalGraph(graph, seed=81)
+        trails = trail_decomposition(g)
+        greedy = place_anchors_greedy(g, trails, walk_limit=40, spacing=40)
+        lll = place_anchors_lll(
+            g, trails, walk_limit=40, spacing=40, separation=2, seed=7
+        )
+        for label, anchors in (("greedy", greedy), ("lll", lll)):
+            nodes = {a.tail for a in anchors} | {a.head for a in anchors}
+            rows.append(
+                {
+                    "family": name,
+                    "placement": label,
+                    "anchors": len(anchors),
+                    "anchor_nodes": len(nodes),
+                }
+            )
+    return rows
+
+
+def test_a2_both_placements_cover(benchmark):
+    rows = run_once(benchmark, _placement_comparison)
+    print_table("A2a anchor placement: greedy vs Moser–Tardos", rows)
+    assert all(r["anchors"] >= 1 for r in rows)
+
+
+def _decode_validity():
+    rows = []
+    g = LocalGraph(cycle(240), seed=82)
+    for label, use_lll in (("greedy", False), ("lll", True)):
+        schema = BalancedOrientationSchema(
+            walk_limit=40, use_lll=use_lll, seed=9
+        )
+        run = schema.run(g)
+        rows.append(
+            {
+                "placement": label,
+                "valid": run.valid,
+                "rounds": run.rounds,
+                "advice_bits": run.total_advice_bits,
+            }
+        )
+    return rows
+
+
+def test_a2_both_placements_decode_validly(benchmark):
+    rows = run_once(benchmark, _decode_validity)
+    print_table("A2b orientation validity under both placements", rows)
+    assert all(r["valid"] for r in rows)
+
+
+def _resampling_counts():
+    rows = []
+    for spacing in (30, 60):
+        g = LocalGraph(cycle(600), seed=83)
+        trails = trail_decomposition(g)
+        # Re-create the schema's internal LLL instance indirectly: run the
+        # placement several times and record that it always terminates
+        # quickly (Moser–Tardos linear-expected-resamplings guarantee).
+        import time
+
+        start = time.perf_counter()
+        anchors = place_anchors_lll(
+            g,
+            trails,
+            walk_limit=spacing,
+            spacing=spacing,
+            separation=3,
+            seed=11,
+        )
+        rows.append(
+            {
+                "spacing": spacing,
+                "anchors": len(anchors),
+                "seconds": round(time.perf_counter() - start, 4),
+            }
+        )
+    return rows
+
+
+def test_a2_lll_terminates_fast(benchmark):
+    rows = run_once(benchmark, _resampling_counts)
+    print_table("A2c Moser–Tardos placement cost", rows)
+    assert all(r["seconds"] < 30 for r in rows)

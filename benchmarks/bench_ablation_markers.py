@@ -1,0 +1,69 @@
+"""A1 — ablation: marker-code overhead of the Lemma 9.2 conversion.
+
+The uniform-1-bit conversion pays ``len(HEADER) + 3..4 bits per payload bit
++ 1`` positions per holder.  This ablation quantifies the code-length
+expansion factor and the sphere-uniqueness elbow room (how far apart
+holders must sit) as payloads grow — the constants behind "arbitrarily
+sparse" advice.
+"""
+
+import pytest
+
+from repro.advice import encode_paths, encoded_length, ones_density
+from repro.graphs import cycle
+from repro.local import LocalGraph
+
+from .common import print_table, run_once
+
+
+def _expansion_rows():
+    rows = []
+    for bits in (0, 1, 2, 4, 8, 16):
+        payload = "10" * (bits // 2) + "1" * (bits % 2)
+        worst = encoded_length(bits)
+        actual = encoded_length(bits, payload.count("1"))
+        rows.append(
+            {
+                "payload_bits": bits,
+                "code_length": actual,
+                "worst_case": worst,
+                "expansion": round(actual / max(1, bits), 2),
+                "min_holder_separation": 2 * worst + 2,
+            }
+        )
+    return rows
+
+
+def test_a1_code_expansion(benchmark):
+    rows = run_once(benchmark, _expansion_rows)
+    print_table("A1a marker-code expansion", rows)
+    big = [r for r in rows if r["payload_bits"] >= 4]
+    # Asymptotically 3.5 bits per payload bit plus the 9-bit frame.
+    for row in big:
+        assert row["code_length"] <= 4 * row["payload_bits"] + 9
+
+
+def _density_vs_payload():
+    g = LocalGraph(cycle(900), seed=71)
+    rows = []
+    for bits in (1, 4, 8):
+        payload = "1" * bits
+        holders = {0: payload, 300: payload, 600: payload}
+        layout = encode_paths(g, holders)
+        rows.append(
+            {
+                "payload_bits": bits,
+                "window": layout.window,
+                "ones_density": round(ones_density(g, layout.bits), 4),
+            }
+        )
+    return rows
+
+
+def test_a1_density_grows_linearly_with_payload(benchmark):
+    rows = run_once(benchmark, _density_vs_payload)
+    print_table("A1b ones-density vs payload size (3 holders on C900)", rows)
+    densities = [r["ones_density"] for r in rows]
+    assert densities == sorted(densities)
+    # Fixed holder count: density stays tiny even for 8-bit payloads.
+    assert densities[-1] < 0.2

@@ -1,0 +1,100 @@
+"""E7 — the composability framework in action (Sections 3.5 and 9).
+
+Claims regenerated: composing the Pi_v (2-coloring) schema with the
+orientation-based splitting oracle yields a correct splitting schema
+(Lemma 9.1); composed rounds are the sum of stage rounds; recursive
+composition scales to Delta-edge-coloring; and the packing overhead of
+merged advice stays within a constant factor.
+"""
+
+import pytest
+
+from repro.graphs import random_bipartite_regular
+from repro.local import LocalGraph
+from repro.schemas import DeltaEdgeColoringSchema, splitting_schema
+from repro.schemas.two_coloring import TwoColoringSchema
+
+from .common import print_table, run_once
+
+
+def _splitting_sweep():
+    rows = []
+    for d in (2, 4, 6):
+        g = LocalGraph(random_bipartite_regular(18, d, seed=d), seed=51)
+        schema = splitting_schema(spacing=6)
+        advice = schema.encode(g)
+        result = schema.decode(g, advice)
+        run = schema.run(g)
+        assert run.valid
+        rows.append(
+            {
+                "d": d,
+                "rounds_total": result.rounds,
+                "rounds_stage1": result.detail["first_rounds"],
+                "rounds_stage2": result.detail["second_rounds"],
+                "bits_per_node": round(run.bits_per_node, 3),
+            }
+        )
+    return rows
+
+
+def test_e7_composition_rounds_add(benchmark):
+    rows = run_once(benchmark, _splitting_sweep)
+    print_table("E7a splitting = Pi_e ∘ Pi_v (Lemma 9.1)", rows)
+    for row in rows:
+        assert row["rounds_total"] == row["rounds_stage1"] + row["rounds_stage2"]
+
+
+def _packing_overhead():
+    g = LocalGraph(random_bipartite_regular(18, 4, seed=3), seed=52)
+    composed = splitting_schema(spacing=6)
+    merged = composed.encode(g)
+    # Raw parts: the 2-coloring advice and the orientation advice alone.
+    first = TwoColoringSchema(spacing=6)
+    a1 = first.encode(g)
+    oracle = first.decode(g, a1).labeling
+    a2 = composed.second.encode(g, oracle)
+    raw_bits = sum(len(a1.get(v, "")) + len(a2.get(v, "")) for v in g.nodes())
+    merged_bits = sum(len(merged.get(v, "")) for v in g.nodes())
+    return [
+        {
+            "raw_bits": raw_bits,
+            "merged_bits": merged_bits,
+            "overhead_factor": round(merged_bits / max(1, raw_bits), 3),
+        }
+    ]
+
+
+def test_e7_packing_overhead_constant(benchmark):
+    rows = run_once(benchmark, _packing_overhead)
+    print_table("E7b self-delimiting merge overhead", rows)
+    # pack_parts costs len+1 bits per part (unary length prefix): the
+    # factor is largest for 1-2 bit parts but always below 4 for 2 parts.
+    assert rows[0]["overhead_factor"] < 4.0
+
+
+def _recursive_edge_coloring():
+    rows = []
+    for delta in (2, 4, 8):
+        g = LocalGraph(
+            random_bipartite_regular(20, delta, seed=delta + 7), seed=53
+        )
+        run = DeltaEdgeColoringSchema(spacing=6, walk_limit=32).run(g)
+        assert run.valid
+        rows.append(
+            {
+                "delta": delta,
+                "rounds": run.rounds,
+                "beta": run.beta,
+                "bits_per_node": round(run.bits_per_node, 3),
+            }
+        )
+    return rows
+
+
+def test_e7_recursive_splitting_edge_coloring(benchmark):
+    rows = run_once(benchmark, _recursive_edge_coloring)
+    print_table("E7c Delta-edge-coloring by recursive splitting", rows)
+    # Advice grows with Delta (O(Delta) splitting subproblems), rounds too.
+    bits = [r["bits_per_node"] for r in rows]
+    assert bits == sorted(bits)

@@ -1,0 +1,106 @@
+"""E2 — the Section 8 reduction, measured.
+
+Claims regenerated: the brute-force advice search costs ``2^{beta n}``
+decode attempts (time roughly doubles per added node); order-invariant
+algorithms have finite lookup tables whose size is independent of ``n``
+(so per-node simulation cost ``s(n)`` is O(1)) — together, the
+``2^n * n * O(1)`` running time the ETH argument bounds.
+"""
+
+import time
+
+import pytest
+
+from repro.graphs import cycle
+from repro.lcl import vertex_coloring
+from repro.local import LocalGraph
+from repro.lower_bounds import (
+    brute_force_advice_search,
+    build_lookup_table,
+    canonicalize,
+    parity_cycle_decoder,
+    reduction_cost_model,
+)
+
+from .common import print_table, run_once
+
+
+def _search_cost_curve():
+    rows = []
+
+    def never_succeeds(view):
+        return 1  # worst case: the search exhausts all 2^n assignments
+
+    for n in (6, 8, 10, 12):
+        g = LocalGraph(cycle(n), seed=n)
+        outcome = brute_force_advice_search(
+            vertex_coloring(2), g, radius=1, decoder=never_succeeds
+        )
+        rows.append(
+            {
+                "n": n,
+                "assignments": outcome.assignments_tried,
+                "seconds": round(outcome.seconds, 4),
+                "model_2^n*n": reduction_cost_model(n, 1, 1.0),
+            }
+        )
+    return rows
+
+
+def test_e2_exhaustive_search_doubles_per_node(benchmark):
+    rows = run_once(benchmark, _search_cost_curve)
+    print_table("E2a brute-force advice search: 2^n curve", rows)
+    for prev, cur in zip(rows, rows[1:]):
+        assert cur["assignments"] == 4 * prev["assignments"]  # steps of 2
+    # Wall time also grows superlinearly (allowing timer noise at the base).
+    assert rows[-1]["seconds"] > 2 * rows[0]["seconds"]
+
+
+def _successful_search():
+    rows = []
+    for n in (5, 6, 7, 8):
+        g = LocalGraph(cycle(n), seed=n)
+        outcome = brute_force_advice_search(
+            vertex_coloring(3),
+            g,
+            radius=n // 2 + 1,
+            decoder=parity_cycle_decoder(n),
+        )
+        assert outcome.found
+        rows.append(
+            {
+                "n": n,
+                "assignments_until_found": outcome.assignments_tried,
+                "seconds": round(outcome.seconds, 4),
+            }
+        )
+    return rows
+
+
+def test_e2_search_finds_existing_advice(benchmark):
+    rows = run_once(benchmark, _successful_search)
+    print_table("E2b brute-force search succeeds when advice exists", rows)
+    assert all(r["assignments_until_found"] >= 1 for r in rows)
+
+
+def _table_sizes():
+    rows = []
+
+    def order_based(view):
+        ids = sorted(view.ids[v] for v in view.nodes)
+        return ids.index(view.id_of(view.center))
+
+    for n in (64, 256, 1024, 4096):
+        g = LocalGraph(cycle(n), seed=n)
+        table = build_lookup_table([g], 2, order_based)
+        rows.append({"n": n, "table_entries": len(table)})
+    return rows
+
+
+def test_e2_lookup_table_size_constant(benchmark):
+    rows = run_once(benchmark, _table_sizes)
+    print_table("E2c order-invariant lookup tables: size vs n", rows)
+    sizes = [r["table_entries"] for r in rows]
+    assert all(s <= 120 for s in sizes)  # (2r+1)! with r=2
+    # The table saturates: the largest n adds (almost) nothing.
+    assert sizes[-1] <= sizes[-2] + 5

@@ -1,0 +1,92 @@
+"""E8 — locally checkable proofs from advice (Section 1.2 corollary).
+
+Claims regenerated: every advice schema yields an LCP with the same bit
+budget — honest certificates are unanimously accepted; corrupted
+certificates never certify an invalid solution (some node rejects, or the
+decoded solution happens to still be valid).
+"""
+
+import pytest
+
+from repro.graphs import planted_three_colorable, torus
+from repro.lcl import is_valid, vertex_coloring
+from repro.local import LocalGraph
+from repro.proofs import LocallyCheckableProof, corrupt_advice
+from repro.schemas import BalancedOrientationSchema, ThreeColoringSchema
+
+from .common import print_table, run_once
+
+
+def _completeness_rows():
+    rows = []
+    cases = [
+        (
+            "orientation/torus",
+            LocalGraph(torus(8, 8), seed=61),
+            BalancedOrientationSchema(walk_limit=16),
+        ),
+    ]
+    graph, cert = planted_three_colorable(80, seed=62)
+    cases.append(
+        (
+            "3-coloring/planted",
+            LocalGraph(graph, seed=63),
+            ThreeColoringSchema(coloring=cert),
+        )
+    )
+    for name, g, schema in cases:
+        lcp = LocallyCheckableProof(schema)
+        certificate = lcp.prove(g)
+        accepts = lcp.verify(g, certificate)
+        bits = sum(len(certificate.get(v, "")) for v in g.nodes())
+        rows.append(
+            {
+                "schema": name,
+                "accept_rate": sum(accepts.values()) / len(accepts),
+                "certificate_bits_per_node": round(bits / g.n, 3),
+            }
+        )
+    return rows
+
+
+def test_e8_completeness(benchmark):
+    rows = run_once(benchmark, _completeness_rows)
+    print_table("E8a LCP completeness: honest certificates", rows)
+    assert all(r["accept_rate"] == 1.0 for r in rows)
+
+
+def _soundness_rows():
+    graph, cert = planted_three_colorable(80, seed=64)
+    g = LocalGraph(graph, seed=65)
+    schema = ThreeColoringSchema(coloring=cert)
+    lcp = LocallyCheckableProof(schema)
+    certificate = lcp.prove(g)
+    trials = 0
+    unsound = 0
+    rejected = 0
+    for seed in range(20):
+        corrupted = corrupt_advice(certificate, flips=3, seed=seed)
+        if corrupted == certificate:
+            continue
+        trials += 1
+        accepts = lcp.verify(g, corrupted)
+        if all(accepts.values()):
+            result = schema.decode(g, corrupted)
+            if not is_valid(vertex_coloring(3), g, result.labeling):
+                unsound += 1
+        else:
+            rejected += 1
+    return [
+        {
+            "corruption_trials": trials,
+            "rejected": rejected,
+            "unsound_accepts": unsound,
+        }
+    ]
+
+
+def test_e8_soundness_under_corruption(benchmark):
+    rows = run_once(benchmark, _soundness_rows)
+    print_table("E8b LCP soundness: corrupted certificates", rows)
+    assert rows[0]["unsound_accepts"] == 0
+    assert rows[0]["rejected"] > 0

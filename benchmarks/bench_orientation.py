@@ -1,0 +1,146 @@
+"""E3 — balanced orientation: rounds flat in n, advice sparse (Section 5).
+
+Claims regenerated:
+* with advice, the decoder's round count is a function of Delta only — the
+  series over n at fixed Delta must be constant;
+* without advice the problem needs Omega(n) rounds on a cycle — the
+  no-advice baseline (gather until the whole cycle is visible) grows
+  linearly;
+* the one-bit schema's ones-density shrinks as the anchor spacing grows
+  (arbitrarily sparse advice).
+"""
+
+import pytest
+
+from repro.advice import ones_density
+from repro.graphs import cycle, random_regular, torus
+from repro.local import LocalGraph
+from repro.schemas import BalancedOrientationSchema, OneBitOrientationSchema
+
+from .common import print_table, run_once
+
+
+def _advice_rounds_sweep():
+    rows = []
+    for n in (128, 256, 512, 1024):
+        g = LocalGraph(cycle(n), seed=3)
+        run = BalancedOrientationSchema(walk_limit=16).run(g)
+        assert run.valid
+        # No-advice baseline on a cycle: any correct algorithm must see a
+        # whole-cycle landmark; gathering costs ceil(n/2) rounds.
+        rows.append(
+            {
+                "n": n,
+                "rounds_with_advice": run.rounds,
+                "rounds_no_advice": n // 2,
+                "bits_per_node": round(run.bits_per_node, 3),
+            }
+        )
+    return rows
+
+
+def test_e3_rounds_flat_in_n(benchmark):
+    rows = run_once(benchmark, _advice_rounds_sweep)
+    print_table("E3a orientation: rounds vs n (cycle, Delta=2)", rows)
+    advice_rounds = {r["rounds_with_advice"] for r in rows}
+    assert len(advice_rounds) == 1, "advice rounds must not grow with n"
+    baseline = [r["rounds_no_advice"] for r in rows]
+    assert baseline[-1] >= 4 * baseline[0], "baseline must grow linearly"
+
+
+def _rounds_vs_delta():
+    rows = []
+    cases = [
+        ("cycle", cycle(240), 2),
+        ("torus", torus(12, 12), 4),
+        ("rr-6", random_regular(120, 6, seed=1), 6),
+        ("rr-8", random_regular(120, 8, seed=2), 8),
+    ]
+    for name, graph, delta in cases:
+        g = LocalGraph(graph, seed=4)
+        run = BalancedOrientationSchema(walk_limit=None).run(g)
+        assert run.valid
+        rows.append(
+            {
+                "family": name,
+                "delta": delta,
+                "rounds": run.rounds,
+                "beta": run.beta,
+            }
+        )
+    return rows
+
+
+def test_e3_rounds_grow_with_delta_only(benchmark):
+    rows = run_once(benchmark, _rounds_vs_delta)
+    print_table("E3b orientation: rounds vs Delta (auto walk limit)", rows)
+    rounds = [r["rounds"] for r in rows]
+    assert rounds == sorted(rounds), "rounds should be monotone in Delta"
+    assert all(r["beta"] <= 2 for r in rows), "Lemma 5.1: beta = 2"
+
+
+def _sparsity_sweep():
+    g = LocalGraph(cycle(1200), seed=5)
+    rows = []
+    for spacing in (32, 64, 128, 256):
+        schema = OneBitOrientationSchema(
+            walk_limit=max(60, spacing), anchor_spacing=spacing
+        )
+        advice = schema.encode(g)
+        assert schema.decode(g, advice) is not None
+        rows.append(
+            {
+                "anchor_spacing": spacing,
+                "ones_density": round(ones_density(g, advice), 4),
+            }
+        )
+    return rows
+
+
+def test_e3_advice_arbitrarily_sparse(benchmark):
+    rows = run_once(benchmark, _sparsity_sweep)
+    print_table("E3c orientation: ones-density vs anchor spacing", rows)
+    densities = [r["ones_density"] for r in rows]
+    assert densities == sorted(densities, reverse=True)
+    assert densities[-1] < densities[0] / 2
+
+
+def _message_complexity_sweep():
+    """Communication cost of the probe/echo protocol: total messages are
+    Theta(n * walk_limit) — linear in n at fixed Delta, with rounds flat."""
+    from repro.local import MessageTrace
+    from repro.local.model import run_message_passing
+    from repro.schemas.orientation_mp import OrientationMessagePassing
+
+    rows = []
+    for n in (128, 256, 512):
+        g = LocalGraph(cycle(n), seed=6)
+        schema = BalancedOrientationSchema(walk_limit=16)
+        advice = schema.encode(g)
+        trace = MessageTrace()
+        result = run_message_passing(
+            g,
+            lambda: OrientationMessagePassing(16),
+            advice=advice,
+            trace=trace,
+        )
+        rows.append(
+            {
+                "n": n,
+                "rounds": result.rounds,
+                "total_messages": trace.total_messages,
+                "messages_per_node": round(trace.total_messages / n, 1),
+            }
+        )
+    return rows
+
+
+def test_e3_protocol_message_complexity(benchmark):
+    rows = run_once(benchmark, _message_complexity_sweep)
+    print_table(
+        "E3d probe/echo protocol: messages vs n (walk_limit=16)", rows
+    )
+    # Rounds flat; total messages scale linearly (per-node cost constant).
+    assert len({r["rounds"] for r in rows}) == 1
+    per_node = [r["messages_per_node"] for r in rows]
+    assert max(per_node) - min(per_node) <= 2.0

@@ -1,0 +1,82 @@
+"""E6 — 3-coloring with exactly one bit per node (Section 7).
+
+Claims regenerated: validity with beta = 1 on 3-colorable instances;
+rounds flat in n (a function of Delta); and the paper's conjecture-shaped
+contrast — this schema's ones-density stays bounded away from 0 (it is at
+least the color-1 class fraction of the greedy coloring), unlike the
+arbitrarily-sparse orientation advice.
+"""
+
+import pytest
+
+from repro.advice import ones_density
+from repro.graphs import cycle, planted_three_colorable
+from repro.graphs.planted import greedy_recolor, three_color_caterpillar
+from repro.local import LocalGraph
+from repro.schemas import OneBitOrientationSchema, ThreeColoringSchema
+
+from .common import print_table, run_once
+
+
+def _rounds_vs_n():
+    rows = []
+    for m in (140, 280, 560):
+        graph, cert = three_color_caterpillar(m)
+        g = LocalGraph(graph, seed=21)
+        run = ThreeColoringSchema(coloring=cert).run(g)
+        assert run.valid and run.beta == 1
+        rows.append(
+            {
+                "n": g.n,
+                "rounds": run.rounds,
+                "ones_density": round(ones_density(g, run.advice), 3),
+            }
+        )
+    return rows
+
+
+def test_e6_rounds_flat_in_n(benchmark):
+    rows = run_once(benchmark, _rounds_vs_n)
+    print_table("E6a 3-coloring: rounds vs n (caterpillar family)", rows)
+    assert len({r["rounds"] for r in rows}) == 1
+
+
+def _density_contrast():
+    rows = []
+    for seed in (1, 2, 3):
+        graph, cert = planted_three_colorable(150, seed=seed)
+        g = LocalGraph(graph, seed=seed + 30)
+        run = ThreeColoringSchema(coloring=cert).run(g)
+        assert run.valid
+        greedy = greedy_recolor(graph, cert)
+        color1 = sum(1 for c in greedy.values() if c == 1) / g.n
+        rows.append(
+            {
+                "instance": f"planted-{seed}",
+                "ones_density": round(ones_density(g, run.advice), 3),
+                "color1_fraction": round(color1, 3),
+            }
+        )
+    # The sparse comparator: orientation advice on a comparable cycle.
+    g = LocalGraph(cycle(600), seed=34)
+    sparse = OneBitOrientationSchema(walk_limit=120, anchor_spacing=120)
+    advice = sparse.encode(g)
+    rows.append(
+        {
+            "instance": "orientation (sparse comparator)",
+            "ones_density": round(ones_density(g, advice), 3),
+            "color1_fraction": float("nan"),
+        }
+    )
+    return rows
+
+
+def test_e6_density_not_sparse(benchmark):
+    rows = run_once(benchmark, _density_contrast)
+    print_table("E6b 3-coloring: ones-density vs the sparse comparator", rows)
+    three_coloring_rows = rows[:-1]
+    comparator = rows[-1]
+    for row in three_coloring_rows:
+        assert row["ones_density"] >= row["color1_fraction"]
+        assert row["ones_density"] > 0.2
+        assert row["ones_density"] > 3 * comparator["ones_density"]

@@ -1,0 +1,47 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one experiment from the DESIGN.md per-experiment
+index (E1–E8, A1–A2).  Since the paper is a brief announcement with no
+tables or figures, every experiment is derived from a numbered claim; the
+bench prints the series the claim predicts and asserts its *shape*
+(who wins, what stays flat, what doubles).  EXPERIMENTS.md records the
+outcomes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def print_table(title: str, rows: Sequence[Dict[str, object]]) -> None:
+    """Render an experiment's series as an aligned text table."""
+    if not rows:
+        print(f"\n== {title}: (no rows)")
+        return
+    columns = list(rows[0].keys())
+    widths = {
+        c: max(len(str(c)), *(len(_fmt(r.get(c))) for r in rows))
+        for c in columns
+    }
+    print(f"\n== {title}")
+    header = "  ".join(str(c).ljust(widths[c]) for c in columns)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print("  ".join(_fmt(row.get(c)).ljust(widths[c]) for c in columns))
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic and often heavy; one timed round is
+    enough, and re-running them would multiply wall time without adding
+    information.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,50 @@
+"""Theorem 4.1 live: ANY locally checkable problem, one sparse bit per node.
+
+On graphs of sub-exponential growth, *every* LCL admits a 1-bit advice
+schema with arbitrarily sparse ones.  This demo runs the full marker-code
+construction — phase clustering, cluster colors on sphere-paths, border
+solutions on independent sets, brute-force interior completion — for two
+different problems on the same 1400-node cycle, showing the schema is
+problem-generic.
+
+Run:  python examples/any_lcl_one_bit.py     (takes ~15 seconds)
+"""
+
+from repro import LocalGraph
+from repro.advice import ones_density
+from repro.graphs import cycle
+from repro.lcl import is_valid, maximal_independent_set, vertex_coloring
+from repro.schemas import OneBitLCLSchema, build_clustering
+
+
+def main() -> None:
+    graph = LocalGraph(cycle(1400), seed=13)
+    print(f"graph: cycle, n={graph.n} (sub-exponential growth: linear)")
+
+    clustering = build_clustering(graph, x=100, r=1)
+    print(
+        f"Section 4 clustering at x=100: {len(clustering.clusters)} clusters, "
+        f"{len(clustering.unclustered)} unclustered regions"
+    )
+    print()
+
+    for problem in (vertex_coloring(3), maximal_independent_set()):
+        schema = OneBitLCLSchema(problem, x=100)
+        advice = schema.encode(graph)
+        result = schema.decode(graph, advice)
+        valid = is_valid(problem, graph, result.labeling)
+        density = ones_density(graph, advice)
+        print(
+            f"{problem.name:12s}: valid={valid}  beta=1  "
+            f"ones-density={density:.4f}  (sparse!)"
+        )
+        assert valid
+
+    print()
+    print("The same one-bit machinery solved two different LCLs — the")
+    print("schema never looked at what the problem *means*, only at its")
+    print("local checkability.  That is Theorem 4.1.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Scenario: compressing link state in a sensor mesh (Contribution 4).
+
+A mesh of sensors must persist which of its links are currently *active*
+(an arbitrary edge subset X ⊆ E) using as little per-node flash as
+possible, and must be able to reconstruct X after a reboot using only
+local communication.  The trivial encoding stores one bit per incident
+link: ``d`` bits on a degree-``d`` sensor.  The paper's scheme stores an
+almost-balanced orientation (1 advice bit) plus membership bits for the
+*outgoing* links only: ``ceil(d/2) + 1`` bits — within +1 of the
+information-theoretic optimum — and decompresses in T(Delta)+1 rounds.
+
+Run:  python examples/compress_network_state.py
+"""
+
+from repro import LocalGraph, compress_edges, decompress_edges
+from repro.graphs import random_edge_subset, torus
+
+
+def main() -> None:
+    # A 12x12 torus mesh: every sensor has 4 neighbors.
+    graph = LocalGraph(torus(12, 12), seed=7)
+    active_links = random_edge_subset(graph.graph, density=0.37, seed=8)
+    print(f"mesh: n={graph.n} sensors, m={graph.m} links")
+    print(f"active links to persist: {len(active_links)}")
+
+    compressed, compressor = compress_edges(graph, active_links)
+    report = compressor.storage_report(graph, compressed)
+    print()
+    print(f"trivial encoding:   {report['trivial_bits_per_node']:.2f} bits/sensor")
+    print(f"paper encoding:     {report['bits_per_node']:.2f} bits/sensor")
+    print(f"within ceil(d/2)+2: {bool(report['within_paper_bound'])}")
+    print(
+        "total flash saved:  "
+        f"{report['trivial_total_bits'] - report['total_bits']:.0f} bits "
+        f"({100 * (1 - report['total_bits'] / report['trivial_total_bits']):.0f}%)"
+    )
+
+    # Reboot: every sensor reconstructs the active-link set locally.
+    result = decompress_edges(graph, compressed, compressor)
+    expected = {
+        (u, v) if graph.id_of(u) < graph.id_of(v) else (v, u)
+        for u, v in active_links
+    }
+    assert result.edges == expected, "reconstruction mismatch!"
+    print()
+    print(
+        f"reconstruction: lossless ✓ in {result.rounds} LOCAL rounds "
+        "(a function of the degree, not of the mesh size)"
+    )
+
+
+if __name__ == "__main__":
+    main()

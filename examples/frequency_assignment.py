@@ -1,0 +1,55 @@
+"""Scenario: frequency assignment with a tight spectrum (Contribution 5).
+
+Radio towers that interfere (edges) need distinct frequencies; the
+spectrum has exactly Delta channels — one per possible interference
+partner, no slack.  Delta-coloring a Delta-colorable interference graph is
+globally hard in the LOCAL model, but with one planning pass (the advice
+encoder) the towers self-assign channels in T(Delta) rounds: the Section 6
+pipeline of cluster coloring, palette reduction, and repair.
+
+Run:  python examples/frequency_assignment.py
+"""
+
+from collections import Counter
+
+from repro import LocalGraph, solve_with_advice
+from repro.graphs import planted_delta_colorable
+
+
+def main() -> None:
+    channels = 5
+    graph_nx, _ = planted_delta_colorable(150, channels, seed=3)
+    graph = LocalGraph(graph_nx, seed=4)
+    print(
+        f"interference graph: {graph.n} towers, {graph.m} conflicts, "
+        f"max degree {graph.max_degree}, spectrum = {channels} channels"
+    )
+
+    run = solve_with_advice("delta-coloring", graph)
+    assert run.valid, "channel assignment has an interference conflict!"
+
+    assignment = run.result.labeling
+    usage = Counter(assignment.values())
+    print()
+    print(f"assignment valid: {run.valid}")
+    print(f"channels used: {sorted(usage)} (allowed: 1..{channels})")
+    for channel in sorted(usage):
+        print(f"  channel {channel}: {usage[channel]:3d} towers")
+    print()
+    print(f"planning-pass advice: {run.bits_per_node:.2f} bits/tower")
+    print(f"self-assignment time: {run.rounds} LOCAL rounds (f(Delta), not n)")
+
+    # Contrast: the same spectrum, double the towers — same round count.
+    bigger_nx, _ = planted_delta_colorable(300, channels, seed=5)
+    bigger = LocalGraph(bigger_nx, seed=6)
+    run2 = solve_with_advice("delta-coloring", bigger)
+    assert run2.valid
+    print()
+    print(
+        f"2x towers ({bigger.n}): still valid in {run2.rounds} rounds — "
+        "the advice absorbs all global coordination."
+    )
+
+
+if __name__ == "__main__":
+    main()

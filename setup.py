@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+`pip install -e .` falls back to `setup.py develop` (via --no-use-pep517 or
+legacy resolution) where PEP 517 editable builds are unavailable offline.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

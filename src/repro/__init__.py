@@ -1,0 +1,40 @@
+"""repro — Local Advice and Local Decompression (PODC 2024), reproduced.
+
+A LOCAL-model simulation library implementing the paper's advice schemas:
+balanced orientations, local edge-set decompression, Delta- and 3-coloring
+with one bit of advice, LCLs on sub-exponential-growth graphs, the
+composability framework, and the Section 8 order-invariance/ETH machinery.
+
+Quickstart::
+
+    from repro import LocalGraph, solve_with_advice
+    from repro.graphs import cycle
+
+    run = solve_with_advice("balanced-orientation", LocalGraph(cycle(64)))
+    assert run.valid
+"""
+
+from .advice.schema import AdviceSchema, DecodeResult, SchemaRun
+from .core.api import (
+    available_schemas,
+    compress_edges,
+    decompress_edges,
+    make_schema,
+    solve_with_advice,
+)
+from .local.graph import LocalGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdviceSchema",
+    "DecodeResult",
+    "LocalGraph",
+    "SchemaRun",
+    "__version__",
+    "available_schemas",
+    "compress_edges",
+    "decompress_edges",
+    "make_schema",
+    "solve_with_advice",
+]

@@ -1,0 +1,271 @@
+"""Variable-length sparse advice -> uniform 1-bit advice (Lemma 9.2).
+
+The paper's conversion lemma turns a variable-length schema whose
+bit-holding nodes are few and far apart into a schema handing every node a
+*single* bit.  The mechanism (used verbatim inside Section 4 and echoed in
+Sections 6–7) writes each holder's bit-string along a shortest path starting
+at the holder, using the self-delimiting marker code of
+:mod:`repro.advice.bitstream`; every node off the paths gets ``0``.
+
+Decoding exploits shortest paths: when ``P = (p_0, p_1, ...)`` is a
+shortest path from ``p_0``, node ``p_j`` is at distance exactly ``j`` from
+``p_0``, so the stream can be *read off the BFS spheres* of the start node —
+``s_j = 1`` iff the sphere at distance ``j`` contains a 1-bit node.  The
+sphere-uniqueness condition (at most one 1-node per sphere, paper Section 4,
+"Decoding the clustering") plus the header/terminator structure make genuine
+starts parse and interior nodes fail.  The encoder *verifies* these
+conditions globally and raises when the caller placed holders too close
+together, so a successful encode certifies decodability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..algorithms.bfs import path_at_distance
+from ..local.algorithm import LocalityTracker
+from ..local.graph import LocalGraph, Node
+from .bitstream import encode_payload, try_decode_stream
+from .schema import AdviceError, AdviceMap
+
+
+@dataclass
+class OneBitLayout:
+    """Result of laying variable-length payloads out as single bits.
+
+    ``bits`` maps *every* node to ``"0"`` or ``"1"`` (a uniform fixed-length
+    1-bit advice map).  ``paths`` records, per payload holder, the path its
+    marker code occupies (encoder-side bookkeeping; the decoder never sees
+    it).  ``window`` is the scan radius both sides agree on.
+    """
+
+    bits: AdviceMap
+    window: int
+    paths: Dict[Node, List[Node]] = field(default_factory=dict)
+
+    def ones(self) -> int:
+        return sum(1 for b in self.bits.values() if b == "1")
+
+
+def required_window(payloads: Mapping[Node, str]) -> int:
+    """Smallest window accommodating every payload's marker code."""
+    return max((len(encode_payload(p)) for p in payloads.values()), default=1)
+
+
+def encode_paths(
+    graph: LocalGraph,
+    payloads: Mapping[Node, str],
+    window: Optional[int] = None,
+) -> OneBitLayout:
+    """Lay out ``payloads`` (holder -> bit-string) as one bit per node.
+
+    Requirements on the caller (checked, not assumed):
+
+    * every holder must have some node at distance ``len(code) - 1`` (its
+      component is large enough to host the path);
+    * holders must be separated: within distance ``window`` of a holder,
+      the only 1-bits are its own code path.  Callers achieve this by
+      placing holders on a ruling set of spacing ``>= 2 * window + 2`` —
+      exactly what composability (Definition 3.4) provides.
+
+    Raises :class:`AdviceError` when a requirement fails.
+    """
+    codes = {v: encode_payload(p) for v, p in payloads.items()}
+    needed = max((len(c) for c in codes.values()), default=1)
+    if window is None:
+        window = needed
+    if window < needed:
+        raise AdviceError(f"window {window} < longest code {needed}")
+
+    bits: AdviceMap = {v: "0" for v in graph.nodes()}
+    paths: Dict[Node, List[Node]] = {}
+    for holder in sorted(codes, key=graph.id_of):
+        code = codes[holder]
+        path = path_at_distance(graph.graph, holder, len(code) - 1)
+        if path is None:
+            raise AdviceError(
+                f"holder {holder!r}: component too small for a "
+                f"{len(code)}-node code path"
+            )
+        for node, bit in zip(path, code):
+            if bit == "1":
+                bits[node] = "1"
+        paths[holder] = path
+
+    _verify_layout(graph, codes, paths, bits, window)
+    return OneBitLayout(bits=bits, window=window, paths=paths)
+
+
+def _verify_layout(
+    graph: LocalGraph,
+    codes: Mapping[Node, str],
+    paths: Mapping[Node, List[Node]],
+    bits: Mapping[Node, str],
+    window: int,
+) -> None:
+    """Certify decodability: around each holder the spheres carry exactly
+    its own code, with at most one 1-node per sphere, zeros beyond."""
+    for holder, code in codes.items():
+        path = paths[holder]
+        for j in range(window + 1):
+            ones = [u for u in graph.sphere(holder, j) if bits.get(u) == "1"]
+            expected = [path[j]] if j < len(code) and code[j] == "1" else []
+            if ones != expected and set(ones) != set(expected):
+                raise AdviceError(
+                    f"holder {holder!r}: sphere {j} carries {len(ones)} "
+                    f"one-bits (expected {len(expected)}); holders are too "
+                    f"close together for window {window}"
+                )
+        # A genuine start must actually parse back to its payload.
+        decoded = decode_at(graph, holder, window, bits)
+        if decoded is None or encode_payload(decoded) != code:
+            raise AdviceError(
+                f"holder {holder!r}: self-check decode failed"
+            )
+
+
+def sphere_stream(
+    graph: LocalGraph,
+    start: Node,
+    window: int,
+    bits: Mapping[Node, str],
+) -> Optional[str]:
+    """Read the bit stream off the BFS spheres of ``start``.
+
+    Returns ``None`` when some sphere within the window contains more than
+    one 1-node (the uniqueness condition fails, so ``start`` cannot be a
+    code start).
+    """
+    stream = []
+    for j in range(window + 1):
+        ones = sum(1 for u in graph.sphere(start, j) if bits.get(u) == "1")
+        if ones > 1:
+            return None
+        stream.append("1" if ones == 1 else "0")
+    return "".join(stream)
+
+
+def decode_at(
+    graph: LocalGraph,
+    start: Node,
+    window: int,
+    bits: Mapping[Node, str],
+) -> Optional[str]:
+    """Attempt to parse a payload whose code starts at ``start``.
+
+    Success requires: ``start`` carries a 1; spheres are unique-or-empty;
+    the stream parses as header+payload+terminator; and every sphere after
+    the terminator out to ``window`` is all zeros.  Interior path nodes fail
+    these conditions (see module docstring), so the start is identified
+    unambiguously.
+    """
+    if bits.get(start) != "1":
+        return None
+    stream = sphere_stream(graph, start, window, bits)
+    if stream is None:
+        return None
+    parsed = try_decode_stream(stream)
+    if parsed is None:
+        return None
+    payload, consumed = parsed
+    if any(b == "1" for b in stream[consumed:]):
+        return None
+    return payload
+
+
+def find_payloads_in_ball(
+    tracker: LocalityTracker,
+    node: Node,
+    radius: int,
+    window: int,
+    bits: Mapping[Node, str],
+) -> List[Tuple[Node, str]]:
+    """All ``(start, payload)`` pairs decodable within distance ``radius``
+    of ``node`` — the local operation a decoder actually performs.
+
+    Locality: examining candidates within ``radius`` and parsing their
+    windows costs ``radius + window`` rounds, charged on the tracker.
+    """
+    tracker.charge(radius + window)
+    graph = tracker.graph
+    found: List[Tuple[Node, str]] = []
+    for candidate in graph.ball(node, radius):
+        if bits.get(candidate) != "1":
+            continue
+        payload = decode_at(graph, candidate, window, bits)
+        if payload is not None:
+            found.append((candidate, payload))
+    return found
+
+
+def decode_all(
+    graph: LocalGraph, bits: Mapping[Node, str], window: int
+) -> Dict[Node, str]:
+    """Every decodable ``start -> payload`` in the graph (test utility)."""
+    out: Dict[Node, str] = {}
+    for v in graph.nodes():
+        payload = decode_at(graph, v, window, bits)
+        if payload is not None:
+            out[v] = payload
+    return out
+
+
+class OneBitConversion:
+    """Lemma 9.2 as a generic wrapper: variable-length schema -> 1 bit/node.
+
+    Wraps any :class:`~repro.advice.schema.AdviceSchema` whose encoder
+    produces *separated* holders (pairwise distance ``> 2 * window + 2``;
+    :func:`encode_paths` verifies this and raises otherwise).  The wrapped
+    encoder lays each holder's bit-string out as a marker-coded path; the
+    wrapped decoder re-extracts the variable-length advice from the single
+    bits and delegates to the original decoder, charging the extra
+    ``window`` rounds the extraction costs.
+
+    This is the library realization of the paper's "then, again as a black
+    box, we convert such a schema into a uniform fixed-length schema that
+    uses a single bit per node".
+    """
+
+    def __init__(self, inner, window: Optional[int] = None) -> None:
+        from .schema import AdviceSchema  # local import to avoid a cycle
+
+        if not isinstance(inner, AdviceSchema):
+            raise TypeError("OneBitConversion wraps an AdviceSchema")
+        self.inner = inner
+        self.name = f"one-bit[{inner.name}]"
+        self.problem = inner.problem
+        self._window = window
+
+    def window_for(self, payloads: Mapping[Node, str]) -> int:
+        return self._window or required_window(payloads)
+
+    def encode(self, graph: LocalGraph):
+        inner_advice = self.inner.encode(graph)
+        payloads = {v: bits for v, bits in inner_advice.items() if bits}
+        layout = encode_paths(graph, payloads, window=self.window_for(payloads))
+        return dict(layout.bits)
+
+    def decode(self, graph: LocalGraph, advice: Mapping[Node, str]):
+        window = self._window
+        if window is None:
+            # Decoders only see the advice, so the scan radius must be
+            # agreed up front — both sides construct with the same window.
+            raise AdviceError(
+                "OneBitConversion needs an explicit window to decode "
+                "(pass window= at construction; both sides must agree)"
+            )
+        reconstructed: Dict[Node, str] = {v: "" for v in graph.nodes()}
+        for holder, payload in decode_all(graph, advice, window).items():
+            reconstructed[holder] = payload
+        result = self.inner.decode(graph, reconstructed)
+        result.rounds += window
+        return result
+
+    def run(self, graph: LocalGraph, check: bool = True):
+        from .schema import AdviceSchema
+
+        return AdviceSchema.run(self, graph, check=check)
+
+    def check_solution(self, graph: LocalGraph, labeling) -> bool:
+        return self.inner.check_solution(graph, labeling)

@@ -1,0 +1,202 @@
+"""Advice schemas (Definition 3.2 of the paper).
+
+A ``(G, Pi, beta, T)``-advice schema is a function ``f`` mapping each graph
+``G`` to a labeling of its nodes with bit-strings of length at most
+``beta``, together with a ``T``-round LOCAL algorithm ``A`` that, given the
+labeled graph, outputs a valid solution of ``Pi``.
+
+Three schema types are distinguished (Definition 3.2): *uniform
+fixed-length* (every node gets the same length), *subset fixed-length*
+(some nodes get a fixed length, the rest get the empty string), and
+*variable-length* (arbitrary per-node lengths).  :func:`classify_schema_type`
+computes the type of a concrete advice map.
+
+Encoders here are centralized (the advice-giving prover is computationally
+unbounded); decoders report their LOCAL round complexity, measured honestly
+through :class:`repro.local.LocalityTracker`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional
+
+from ..lcl.problem import Label, LCLProblem
+from ..lcl.verify import violations
+from ..local.algorithm import LocalityTracker
+from ..local.graph import LocalGraph, Node
+
+AdviceMap = Dict[Node, str]
+
+
+class AdviceError(RuntimeError):
+    """Raised when encoding is impossible or decoding detects corruption."""
+
+
+class InvalidAdvice(AdviceError):
+    """Raised by validating decoders when the advice does not decode to a
+    valid solution (e.g. after corruption)."""
+
+
+def validate_advice_map(graph: LocalGraph, advice: Mapping[Node, str]) -> None:
+    """Raise :class:`AdviceError` unless every label is a bit-string."""
+    for v in graph.nodes():
+        bits = advice.get(v, "")
+        if any(b not in "01" for b in bits):
+            raise AdviceError(f"advice of {v!r} is not a bit-string: {bits!r}")
+
+
+def classify_schema_type(graph: LocalGraph, advice: Mapping[Node, str]) -> str:
+    """One of ``"uniform-fixed"``, ``"subset-fixed"``, ``"variable"``."""
+    lengths = {len(advice.get(v, "")) for v in graph.nodes()}
+    positive = {l for l in lengths if l > 0}
+    if len(lengths) == 1:
+        return "uniform-fixed"
+    if lengths == positive | {0} and len(positive) == 1:
+        return "subset-fixed"
+    return "variable"
+
+
+def beta_of(graph: LocalGraph, advice: Mapping[Node, str]) -> int:
+    """The schema length bound ``beta`` realized by this advice map."""
+    return max((len(advice.get(v, "")) for v in graph.nodes()), default=0)
+
+
+def total_bits(graph: LocalGraph, advice: Mapping[Node, str]) -> int:
+    """Total advice bits across all nodes."""
+    return sum(len(advice.get(v, "")) for v in graph.nodes())
+
+
+@dataclass
+class DecodeResult:
+    """Output of a schema decoder: the solution plus its locality cost."""
+
+    labeling: Dict[Node, Label]
+    rounds: int
+    detail: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class SchemaRun:
+    """Full encode→decode→verify record (what the benchmarks report)."""
+
+    schema_name: str
+    advice: AdviceMap
+    result: DecodeResult
+    schema_type: str
+    beta: int
+    total_advice_bits: int
+    n: int
+    max_degree: int
+    valid: Optional[bool] = None
+
+    @property
+    def bits_per_node(self) -> float:
+        return self.total_advice_bits / max(1, self.n)
+
+    @property
+    def rounds(self) -> int:
+        return self.result.rounds
+
+
+class AdviceSchema(abc.ABC):
+    """Base class for concrete advice schemas.
+
+    Subclasses implement :meth:`encode` (centralized, unbounded) and
+    :meth:`decode` (a LOCAL algorithm; must account rounds via the supplied
+    tracker or report them in the returned :class:`DecodeResult`).
+    """
+
+    name: str = "advice-schema"
+    #: the LCL (or predicate) the schema solves, when applicable
+    problem: Optional[LCLProblem] = None
+
+    @abc.abstractmethod
+    def encode(self, graph: LocalGraph) -> AdviceMap:
+        """Compute the advice labeling for ``graph``."""
+
+    @abc.abstractmethod
+    def decode(self, graph: LocalGraph, advice: Mapping[Node, str]) -> DecodeResult:
+        """Recover a solution from the labeled graph (LOCAL algorithm)."""
+
+    # -- common driver -------------------------------------------------------
+
+    def run(self, graph: LocalGraph, check: bool = True) -> SchemaRun:
+        """Encode, decode, and (optionally) verify on ``graph``."""
+        advice = self.encode(graph)
+        validate_advice_map(graph, advice)
+        result = self.decode(graph, advice)
+        run = SchemaRun(
+            schema_name=self.name,
+            advice=advice,
+            result=result,
+            schema_type=classify_schema_type(graph, advice),
+            beta=beta_of(graph, advice),
+            total_advice_bits=total_bits(graph, advice),
+            n=graph.n,
+            max_degree=graph.max_degree,
+        )
+        if check:
+            run.valid = self.check_solution(graph, result.labeling)
+        return run
+
+    def check_solution(self, graph: LocalGraph, labeling: Mapping[Node, Label]) -> bool:
+        """Validity check; defaults to the attached LCL's local checks."""
+        if self.problem is None:
+            raise NotImplementedError(
+                f"{self.name} has no attached problem; override check_solution"
+            )
+        return not violations(self.problem, graph, labeling)
+
+
+class OracleSchema(abc.ABC):
+    """A schema for ``Pi_2`` that assumes an oracle solution of ``Pi_1``.
+
+    This is the second ingredient of the composability framework
+    (Section 1.8): composing an :class:`AdviceSchema` for ``Pi_1`` with an
+    :class:`OracleSchema` for ``Pi_2``-given-``Pi_1`` yields an
+    :class:`AdviceSchema` for ``Pi_2`` (see
+    :func:`repro.advice.compose.compose`).
+    """
+
+    name: str = "oracle-schema"
+    problem: Optional[LCLProblem] = None
+
+    @abc.abstractmethod
+    def encode(
+        self, graph: LocalGraph, oracle: Mapping[Node, Label]
+    ) -> AdviceMap:
+        """Advice for ``Pi_2`` when the decoder will be handed ``oracle``."""
+
+    @abc.abstractmethod
+    def decode(
+        self,
+        graph: LocalGraph,
+        advice: Mapping[Node, str],
+        oracle: Mapping[Node, Label],
+    ) -> DecodeResult:
+        """Recover a ``Pi_2`` solution from advice plus the oracle solution."""
+
+
+class FunctionSchema(AdviceSchema):
+    """Adapter: build a schema from two plain functions (used in tests and
+    by the composition machinery)."""
+
+    def __init__(
+        self,
+        name: str,
+        encode: Callable[[LocalGraph], AdviceMap],
+        decode: Callable[[LocalGraph, Mapping[Node, str]], DecodeResult],
+        problem: Optional[LCLProblem] = None,
+    ) -> None:
+        self.name = name
+        self._encode = encode
+        self._decode = decode
+        self.problem = problem
+
+    def encode(self, graph: LocalGraph) -> AdviceMap:
+        return self._encode(graph)
+
+    def decode(self, graph: LocalGraph, advice: Mapping[Node, str]) -> DecodeResult:
+        return self._decode(graph, advice)

@@ -1,0 +1,84 @@
+"""Sparsity of advice (Definition 3.3) and composability bookkeeping.
+
+A uniform 1-bit schema is *epsilon-sparse* when the fraction of nodes
+assigned a ``1`` is at most ``epsilon``; a schema is *sparse* when it can be
+instantiated epsilon-sparse for every constant ``epsilon > 0``.  The paper's
+headline distinction is between problems whose advice can be made
+arbitrarily sparse (orientations, Delta-coloring, LCLs on sub-exponential
+growth) and those that seem to need density ~1 (3-coloring, Section 7).
+
+For composable schemas (Definition 3.4) the relevant quantity is instead the
+number of bit-holding nodes, and the bits they hold, inside every
+alpha-radius ball; :func:`max_holders_in_ball` measures it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from ..local.graph import LocalGraph, Node
+
+
+def ones_density(graph: LocalGraph, advice: Mapping[Node, str]) -> float:
+    """``n1 / (n0 + n1)`` for a uniform 1-bit advice map (Definition 3.3)."""
+    ones = 0
+    for v in graph.nodes():
+        bits = advice.get(v, "")
+        if bits not in ("0", "1"):
+            raise ValueError(
+                f"ones_density is defined for 1-bit uniform advice; "
+                f"node {v!r} holds {bits!r}"
+            )
+        ones += bits == "1"
+    return ones / max(1, graph.n)
+
+
+def is_epsilon_sparse(
+    graph: LocalGraph, advice: Mapping[Node, str], epsilon: float
+) -> bool:
+    """Definition 3.3: ones-density at most ``epsilon``."""
+    return ones_density(graph, advice) <= epsilon
+
+
+def bit_holding_nodes(graph: LocalGraph, advice: Mapping[Node, str]) -> List[Node]:
+    """Nodes with a non-empty bit-string (Definition 3.2's terminology)."""
+    return [v for v in graph.nodes() if advice.get(v, "")]
+
+
+def max_holders_in_ball(
+    graph: LocalGraph, advice: Mapping[Node, str], alpha: int
+) -> Tuple[int, int]:
+    """Composability measurement (Definition 3.4).
+
+    Returns ``(max_holders, max_bits)``: over all alpha-radius balls, the
+    largest number of bit-holding nodes and the largest total number of bits
+    they hold.  A ``(gamma0, A, T)``-composable instantiation must keep
+    ``max_holders <= gamma0`` and per-node bits ``<= c * alpha / gamma^3``.
+    """
+    holders = set(bit_holding_nodes(graph, advice))
+    worst_holders = 0
+    worst_bits = 0
+    for v in graph.nodes():
+        ball = graph.ball(v, alpha)
+        inside = [u for u in ball if u in holders]
+        bits = sum(len(advice.get(u, "")) for u in inside)
+        worst_holders = max(worst_holders, len(inside))
+        worst_bits = max(worst_bits, bits)
+    return worst_holders, worst_bits
+
+
+def sparsity_report(graph: LocalGraph, advice: Mapping[Node, str]) -> Dict[str, float]:
+    """Summary statistics used by benchmarks and EXPERIMENTS.md."""
+    lengths = [len(advice.get(v, "")) for v in graph.nodes()]
+    holders = sum(1 for l in lengths if l > 0)
+    report: Dict[str, float] = {
+        "n": graph.n,
+        "holders": holders,
+        "holder_fraction": holders / max(1, graph.n),
+        "total_bits": float(sum(lengths)),
+        "bits_per_node": sum(lengths) / max(1, graph.n),
+        "beta": float(max(lengths, default=0)),
+    }
+    if all(l == 1 for l in lengths):
+        report["ones_density"] = ones_density(graph, advice)
+    return report

@@ -1,0 +1,111 @@
+"""Component and path utilities shared by the schemas."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from ..local.graph import LocalGraph, Node
+
+
+def component_of(graph: nx.Graph, v: Node) -> Set[Node]:
+    """The connected component containing ``v`` in a plain networkx graph."""
+    return set(nx.node_connected_component(graph, v))
+
+
+def components(graph: nx.Graph) -> List[Set[Node]]:
+    """Connected components as node sets."""
+    return [set(c) for c in nx.connected_components(graph)]
+
+
+def diameter_at_most(graph: nx.Graph, bound: int) -> bool:
+    """Is the (strong) diameter of the connected graph ``<= bound``?
+
+    Capped double-BFS style check: runs a bounded BFS from every node but
+    exits early on the first violation, so the common case (small
+    components) is cheap.
+    """
+    for v in graph.nodes():
+        depth = _bfs_depth(graph, v, bound + 1)
+        if depth > bound:
+            return False
+    return True
+
+
+def _bfs_depth(graph: nx.Graph, source: Node, cap: int) -> int:
+    seen = {source}
+    frontier = [source]
+    depth = 0
+    while frontier and depth < cap:
+        nxt = []
+        for v in frontier:
+            for u in graph.neighbors(v):
+                if u not in seen:
+                    seen.add(u)
+                    nxt.append(u)
+        if not nxt:
+            return depth
+        frontier = nxt
+        depth += 1
+    return depth
+
+
+def shortest_path_within(
+    graph: nx.Graph, source: Node, targets: Set[Node]
+) -> Optional[List[Node]]:
+    """Shortest path from ``source`` to the nearest node of ``targets``
+    (BFS inside the given graph); ``None`` when unreachable."""
+    if source in targets:
+        return [source]
+    parent: Dict[Node, Node] = {source: source}
+    frontier = deque([source])
+    while frontier:
+        v = frontier.popleft()
+        for u in graph.neighbors(v):
+            if u in parent:
+                continue
+            parent[u] = v
+            if u in targets:
+                path = [u]
+                while path[-1] != source:
+                    path.append(parent[path[-1]])
+                return list(reversed(path))
+            frontier.append(u)
+    return None
+
+
+def bfs_distances(
+    graph: nx.Graph, source: Node, cutoff: Optional[int] = None
+) -> Dict[Node, int]:
+    """Hop distances from ``source``, optionally capped at ``cutoff``."""
+    dist = {source: 0}
+    frontier = deque([source])
+    while frontier:
+        v = frontier.popleft()
+        if cutoff is not None and dist[v] >= cutoff:
+            continue
+        for u in graph.neighbors(v):
+            if u not in dist:
+                dist[u] = dist[v] + 1
+                frontier.append(u)
+    return dist
+
+
+def path_at_distance(
+    graph: nx.Graph, source: Node, length: int
+) -> Optional[List[Node]]:
+    """A shortest path of exactly ``length`` edges from ``source``, if some
+    node lies at that distance; ``None`` otherwise."""
+    dist = bfs_distances(graph, source, cutoff=length)
+    at_target = [v for v, d in dist.items() if d == length]
+    if not at_target:
+        return None
+    target = at_target[0]
+    # Walk back greedily along decreasing distance.
+    path = [target]
+    while dist[path[-1]] > 0:
+        v = path[-1]
+        path.append(next(u for u in graph.neighbors(v) if dist.get(u) == dist[v] - 1))
+    return list(reversed(path))

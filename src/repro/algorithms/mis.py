@@ -1,0 +1,75 @@
+"""Maximal independent sets: greedy and Luby's randomized algorithm.
+
+MIS is both a catalog LCL and an internal tool (ruling sets are MIS's of
+power graphs).  Luby's algorithm is included as the classical randomized
+baseline the benchmarks contrast against advice-assisted computation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Set, Tuple
+
+from ..local.graph import LocalGraph, Node
+
+
+def greedy_mis(graph: LocalGraph) -> List[Node]:
+    """Sequential MIS in identifier order (the encoder-side construction)."""
+    chosen: List[Node] = []
+    blocked: Set[Node] = set()
+    for v in sorted(graph.nodes(), key=graph.id_of):
+        if v not in blocked:
+            chosen.append(v)
+            blocked.add(v)
+            blocked.update(graph.graph.neighbors(v))
+    return chosen
+
+
+def luby_mis(
+    graph: LocalGraph, seed: Optional[int] = None, max_rounds: int = 10_000
+) -> Tuple[List[Node], int]:
+    """Luby's randomized distributed MIS; returns ``(mis, rounds)``.
+
+    Per phase (2 LOCAL rounds): every live node draws a random priority; a
+    node joins the MIS when its priority beats all live neighbors; joined
+    nodes and their neighbors leave the graph.  Terminates in ``O(log n)``
+    phases with high probability.
+    """
+    rng = random.Random(seed)
+    live: Set[Node] = set(graph.nodes())
+    mis: List[Node] = []
+    rounds = 0
+    while live:
+        if rounds >= max_rounds:
+            raise RuntimeError("Luby MIS failed to terminate")
+        priorities = {v: (rng.random(), graph.id_of(v)) for v in live}
+        joined = [
+            v
+            for v in live
+            if all(
+                priorities[v] > priorities[u]
+                for u in graph.graph.neighbors(v)
+                if u in live
+            )
+        ]
+        mis.extend(joined)
+        removed = set(joined)
+        for v in joined:
+            removed.update(u for u in graph.graph.neighbors(v) if u in live)
+        live -= removed
+        rounds += 2
+    return mis, rounds
+
+
+def is_mis(graph: LocalGraph, candidate: List[Node]) -> bool:
+    """Independence plus domination (maximality)."""
+    chosen = set(candidate)
+    for v in chosen:
+        if any(u in chosen for u in graph.graph.neighbors(v)):
+            return False
+    for v in graph.nodes():
+        if v not in chosen and not any(
+            u in chosen for u in graph.graph.neighbors(v)
+        ):
+            return False
+    return True

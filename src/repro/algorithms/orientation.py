@@ -1,0 +1,215 @@
+"""Partner pairing and trail decomposition (the Section 5 substrate).
+
+Section 5 constructs a virtual graph ``G'`` in which every node of degree
+``2d`` splits into ``d`` copies, copy ``i`` incident to its ``(2i-1)``-th
+and ``2i``-th incident edges "in some arbitrary fixed order (e.g., by
+sorting the neighbors by their IDs)".  ``G'`` is then a disjoint union of
+cycles (when all degrees are even) or cycles and paths (in general; a node
+of odd degree leaves its last port unpaired and becomes a path endpoint).
+Orienting every cycle/path of ``G'`` consistently induces an
+(almost-)balanced orientation of ``G``: every copy has exactly one incoming
+and one outgoing edge.
+
+We call the cycles and paths of ``G'`` *trails*.  Everything here is
+deterministic in the identifiers, so the distributed decoder can recompute
+the pairing locally ("nodes compute G' without communication").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..local.graph import LocalGraph, Node
+
+Edge = Tuple[Node, Node]
+
+
+class OrientationError(ValueError):
+    pass
+
+
+def _edge_key(u: Node, v: Node, graph: LocalGraph) -> Edge:
+    return (u, v) if graph.id_of(u) < graph.id_of(v) else (v, u)
+
+
+def partner(graph: LocalGraph, v: Node, u: Node) -> Optional[Node]:
+    """The partner neighbor of ``u`` at ``v`` under the port pairing.
+
+    Ports of ``v`` (neighbors in identifier order) are paired
+    ``(0,1), (2,3), ...``; an odd-degree node leaves its last port
+    unpaired (returns ``None``).  This is a purely local computation — the
+    decoder evaluates it without communication beyond radius 1.
+    """
+    nbrs = graph.neighbors(v)
+    port = nbrs.index(u) if u in nbrs else -1
+    if port < 0:
+        raise OrientationError(f"{u!r} is not a neighbor of {v!r}")
+    if port == len(nbrs) - 1 and len(nbrs) % 2 == 1:
+        return None
+    mate = port + 1 if port % 2 == 0 else port - 1
+    return nbrs[mate]
+
+
+def trail_step(graph: LocalGraph, v: Node, u: Node) -> Optional[Node]:
+    """Arriving at ``u`` along the half-edge ``v -> u``, where does the trail
+    continue?  ``None`` at a trail endpoint."""
+    return partner(graph, u, v)
+
+
+@dataclass(frozen=True)
+class Trail:
+    """A maximal trail of the virtual graph ``G'``.
+
+    ``nodes`` lists the visited nodes in walk order; consecutive pairs are
+    the trail's edges.  For a closed trail the first node is *not* repeated
+    at the end; the closing edge ``(nodes[-1], nodes[0])`` is implicit.
+    """
+
+    nodes: Tuple[Node, ...]
+    closed: bool
+
+    @property
+    def length(self) -> int:
+        """Number of edges."""
+        return len(self.nodes) if self.closed else len(self.nodes) - 1
+
+    def edges(self) -> List[Edge]:
+        result = list(zip(self.nodes, self.nodes[1:]))
+        if self.closed:
+            result.append((self.nodes[-1], self.nodes[0]))
+        return result
+
+
+def trail_decomposition(graph: LocalGraph) -> List[Trail]:
+    """Decompose all edges of ``G`` into the trails of ``G'``.
+
+    Every edge belongs to exactly one trail; trails are reported with a
+    canonical direction (open trails start at the endpoint with the smaller
+    identifier context; closed trails start at their minimum-identifier node
+    and head towards its paired port with smaller neighbor identifier) so
+    that encoder and tests are deterministic.
+    """
+    visited: Set[Edge] = set()
+    trails: List[Trail] = []
+
+    # Open trails: start from unpaired ports (odd-degree nodes' last port).
+    for v in sorted(graph.nodes(), key=graph.id_of):
+        nbrs = graph.neighbors(v)
+        if len(nbrs) % 2 == 1:
+            u = nbrs[-1]
+            if _edge_key(v, u, graph) in visited:
+                continue
+            sequence = _walk_open(graph, v, u)
+            for a, b in zip(sequence, sequence[1:]):
+                visited.add(_edge_key(a, b, graph))
+            trails.append(Trail(nodes=tuple(sequence), closed=False))
+
+    # Closed trails: whatever is left decomposes into cycles of G'.
+    for v in sorted(graph.nodes(), key=graph.id_of):
+        for u in graph.neighbors(v):
+            if _edge_key(v, u, graph) in visited:
+                continue
+            sequence = _walk_cycle(graph, v, u)
+            edge_keys = {
+                _edge_key(a, b, graph)
+                for a, b in zip(sequence, sequence[1:] + [sequence[0]])
+            }
+            visited |= edge_keys
+            trails.append(Trail(nodes=tuple(sequence), closed=True))
+
+    return trails
+
+
+def _walk_open(graph: LocalGraph, start: Node, first: Node) -> List[Node]:
+    """Follow the trail from the unpaired half-edge ``start -> first``."""
+    sequence = [start, first]
+    prev, cur = start, first
+    while True:
+        nxt = trail_step(graph, prev, cur)
+        if nxt is None:
+            return sequence
+        sequence.append(nxt)
+        prev, cur = cur, nxt
+
+
+def _walk_cycle(graph: LocalGraph, start: Node, first: Node) -> List[Node]:
+    """Follow the closed trail containing the half-edge ``start -> first``.
+
+    Returns the node sequence without repeating the start.
+    """
+    sequence = [start]
+    prev, cur = start, first
+    while not (cur == start and trail_step(graph, prev, cur) == first):
+        sequence.append(cur)
+        nxt = trail_step(graph, prev, cur)
+        if nxt is None:
+            raise OrientationError(
+                "walked off a supposedly closed trail - pairing inconsistent"
+            )
+        prev, cur = cur, nxt
+    return sequence
+
+
+# ---------------------------------------------------------------------------
+# Orientations from trails
+# ---------------------------------------------------------------------------
+
+
+def orient_trails(
+    graph: LocalGraph, trails: Iterable[Trail], directions: Optional[Dict[int, bool]] = None
+) -> Set[Tuple[Node, Node]]:
+    """Orient every trail consistently; returns the set of directed edges.
+
+    ``directions[i]`` (default ``True``) orients trail ``i`` along its
+    stored walk order; ``False`` reverses it.  Because every node copy in
+    ``G'`` has exactly one incoming and one outgoing edge under a consistent
+    trail orientation, the induced orientation of ``G`` is almost balanced.
+    """
+    directions = directions or {}
+    oriented: Set[Tuple[Node, Node]] = set()
+    for index, trail in enumerate(trails):
+        forward = directions.get(index, True)
+        edges = trail.edges()
+        for a, b in edges:
+            oriented.add((a, b) if forward else (b, a))
+    return oriented
+
+
+def eulerian_orientation(graph: LocalGraph) -> Set[Tuple[Node, Node]]:
+    """A centralized almost-balanced orientation (the encoder's reference)."""
+    return orient_trails(graph, trail_decomposition(graph))
+
+
+def orientation_to_port_labels(
+    graph: LocalGraph, oriented: Set[Tuple[Node, Node]]
+) -> Dict[Node, Tuple[int, ...]]:
+    """Convert a directed-edge set into per-port +-1 labels for the
+    :func:`repro.lcl.catalog.balanced_orientation` LCL."""
+    labels: Dict[Node, Tuple[int, ...]] = {}
+    for v in graph.nodes():
+        row = []
+        for u in graph.neighbors(v):
+            if (v, u) in oriented:
+                row.append(1)
+            elif (u, v) in oriented:
+                row.append(-1)
+            else:
+                raise OrientationError(f"edge {{{v!r}, {u!r}}} not oriented")
+        labels[v] = tuple(row)
+    return labels
+
+
+def imbalance(graph: LocalGraph, oriented: Set[Tuple[Node, Node]]) -> Dict[Node, int]:
+    """``outdeg - indeg`` per node."""
+    out: Dict[Node, int] = {v: 0 for v in graph.nodes()}
+    inn: Dict[Node, int] = {v: 0 for v in graph.nodes()}
+    for a, b in oriented:
+        out[a] += 1
+        inn[b] += 1
+    return {v: out[v] - inn[v] for v in graph.nodes()}
+
+
+def is_almost_balanced(graph: LocalGraph, oriented: Set[Tuple[Node, Node]]) -> bool:
+    """Every node satisfies ``|outdeg - indeg| <= 1``."""
+    return all(abs(x) <= 1 for x in imbalance(graph, oriented).values())

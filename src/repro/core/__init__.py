@@ -1,0 +1,33 @@
+"""Public API facade."""
+
+from .api import (
+    available_schemas,
+    compress_edges,
+    decompress_edges,
+    make_schema,
+    solve_with_advice,
+)
+from .io import (
+    load_advice,
+    load_compressed_edges,
+    load_run_report,
+    run_report,
+    save_advice,
+    save_compressed_edges,
+    save_run_report,
+)
+
+__all__ = [
+    "available_schemas",
+    "compress_edges",
+    "decompress_edges",
+    "load_advice",
+    "load_compressed_edges",
+    "load_run_report",
+    "make_schema",
+    "run_report",
+    "save_advice",
+    "save_compressed_edges",
+    "save_run_report",
+    "solve_with_advice",
+]

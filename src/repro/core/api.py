@@ -1,0 +1,95 @@
+"""Public facade: one-call access to every schema in the reproduction.
+
+Typical usage::
+
+    from repro import LocalGraph, solve_with_advice
+    from repro.graphs import cycle
+
+    graph = LocalGraph(cycle(100), seed=0)
+    run = solve_with_advice("balanced-orientation", graph)
+    assert run.valid
+    print(run.rounds, run.bits_per_node)
+
+``available_schemas()`` lists the registry; ``compress_edges`` /
+``decompress_edges`` expose the Contribution-4 pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..advice.schema import AdviceSchema, SchemaRun
+from ..local.graph import LocalGraph, Node
+from ..schemas.decompression import (
+    CompressedEdgeSet,
+    DecompressionResult,
+    EdgeSetCompressor,
+)
+from ..schemas.delta_coloring import DeltaColoringSchema
+from ..schemas.lcl_subexp import LCLSubexpSchema, OneBitLCLSchema
+from ..schemas.orientation import BalancedOrientationSchema, OneBitOrientationSchema
+from ..schemas.splitting import DeltaEdgeColoringSchema, splitting_schema
+from ..schemas.three_coloring import ThreeColoringSchema
+from ..schemas.two_coloring import OneBitTwoColoringSchema, TwoColoringSchema
+
+SchemaFactory = Callable[..., AdviceSchema]
+
+_REGISTRY: Dict[str, SchemaFactory] = {
+    "2-coloring": TwoColoringSchema,
+    "one-bit-2-coloring": OneBitTwoColoringSchema,
+    "balanced-orientation": BalancedOrientationSchema,
+    "one-bit-orientation": OneBitOrientationSchema,
+    "splitting": splitting_schema,
+    "delta-edge-coloring": DeltaEdgeColoringSchema,
+    "delta-coloring": DeltaColoringSchema,
+    "3-coloring": ThreeColoringSchema,
+    "lcl-subexp": LCLSubexpSchema,
+    "one-bit-lcl": OneBitLCLSchema,
+}
+
+
+def available_schemas() -> List[str]:
+    """Names accepted by :func:`make_schema` / :func:`solve_with_advice`."""
+    return sorted(_REGISTRY)
+
+
+def make_schema(name: str, **kwargs: object) -> AdviceSchema:
+    """Instantiate a registered schema by name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown schema {name!r}; available: {available_schemas()}"
+        ) from None
+    return factory(**kwargs)
+
+
+def solve_with_advice(
+    schema: "str | AdviceSchema", graph: LocalGraph, check: bool = True, **kwargs: object
+) -> SchemaRun:
+    """Encode, decode, and verify a schema on ``graph`` in one call."""
+    if isinstance(schema, str):
+        schema = make_schema(schema, **kwargs)
+    elif kwargs:
+        raise TypeError("kwargs are only accepted with a schema name")
+    return schema.run(graph, check=check)
+
+
+def compress_edges(
+    graph: LocalGraph,
+    subset: Iterable[Tuple[Node, Node]],
+    one_bit: bool = False,
+    walk_limit: Optional[int] = None,
+) -> Tuple[CompressedEdgeSet, EdgeSetCompressor]:
+    """Contribution 4: compress an edge subset to ~d/2 bits per node."""
+    compressor = EdgeSetCompressor(one_bit=one_bit, walk_limit=walk_limit)
+    return compressor.compress(graph, subset), compressor
+
+
+def decompress_edges(
+    graph: LocalGraph,
+    compressed: CompressedEdgeSet,
+    compressor: EdgeSetCompressor,
+) -> DecompressionResult:
+    """Recover the edge subset locally."""
+    return compressor.decompress(graph, compressed)

@@ -1,0 +1,174 @@
+"""Serialization: persist advice, certificates, and compressed edge sets.
+
+Advice is meant to be *stored* — written on nodes, shipped as certificates,
+kept in flash.  This module gives the library a stable on-disk JSON format
+for the three artifact kinds users persist:
+
+* advice maps (``node -> bit-string``) together with the graph's
+  identifier assignment, so a reload can validate against the same graph;
+* :class:`~repro.schemas.decompression.CompressedEdgeSet` payloads;
+* :class:`~repro.advice.schema.SchemaRun` reports (for experiment logs).
+
+Node names are serialized via ``repr`` round-tripping for the common cases
+(ints, strings, tuples of those); loading is therefore restricted to those
+name types — the generators in :mod:`repro.graphs` all comply.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+from typing import Dict, Mapping, Union
+
+from ..advice.schema import AdviceError, AdviceMap, SchemaRun
+from ..local.graph import LocalGraph, Node
+from ..schemas.decompression import CompressedEdgeSet
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def _encode_node(node: Node) -> str:
+    text = repr(node)
+    try:
+        if ast.literal_eval(text) != node:
+            raise ValueError
+    except (ValueError, SyntaxError):
+        raise AdviceError(
+            f"node {node!r} is not serializable (use int/str/tuple names)"
+        )
+    return text
+
+
+def _decode_node(text: str) -> Node:
+    return ast.literal_eval(text)
+
+
+def _graph_fingerprint(graph: LocalGraph) -> Dict[str, object]:
+    return {
+        "n": graph.n,
+        "m": graph.m,
+        "max_degree": graph.max_degree,
+        "ids": {_encode_node(v): graph.id_of(v) for v in graph.nodes()},
+    }
+
+
+def _check_fingerprint(graph: LocalGraph, fingerprint: Mapping) -> None:
+    if fingerprint["n"] != graph.n or fingerprint["m"] != graph.m:
+        raise AdviceError(
+            "stored advice belongs to a different graph "
+            f"(stored n={fingerprint['n']}, m={fingerprint['m']}; "
+            f"got n={graph.n}, m={graph.m})"
+        )
+    for text, stored_id in fingerprint["ids"].items():
+        node = _decode_node(text)
+        if graph.id_of(node) != stored_id:
+            raise AdviceError(
+                f"identifier mismatch at node {node!r}: stored {stored_id}, "
+                f"graph has {graph.id_of(node)}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Advice maps
+# ---------------------------------------------------------------------------
+
+
+def save_advice(path: PathLike, graph: LocalGraph, advice: Mapping[Node, str]) -> None:
+    """Write an advice map (with the graph fingerprint) as JSON."""
+    payload = {
+        "format": _FORMAT_VERSION,
+        "kind": "advice",
+        "graph": _graph_fingerprint(graph),
+        "advice": {_encode_node(v): advice.get(v, "") for v in graph.nodes()},
+    }
+    Path(path).write_text(json.dumps(payload, sort_keys=True))
+
+
+def load_advice(path: PathLike, graph: LocalGraph) -> AdviceMap:
+    """Load an advice map, validating it against ``graph``."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("kind") != "advice" or payload.get("format") != _FORMAT_VERSION:
+        raise AdviceError(f"{path}: not a v{_FORMAT_VERSION} advice file")
+    _check_fingerprint(graph, payload["graph"])
+    advice = {_decode_node(k): v for k, v in payload["advice"].items()}
+    for v, bits in advice.items():
+        if any(b not in "01" for b in bits):
+            raise AdviceError(f"{path}: corrupt bits at node {v!r}")
+    return advice
+
+
+# ---------------------------------------------------------------------------
+# Compressed edge sets
+# ---------------------------------------------------------------------------
+
+
+def save_compressed_edges(
+    path: PathLike, graph: LocalGraph, compressed: CompressedEdgeSet
+) -> None:
+    """Persist a Contribution-4 compressed edge subset."""
+    payload = {
+        "format": _FORMAT_VERSION,
+        "kind": "compressed-edges",
+        "graph": _graph_fingerprint(graph),
+        "membership": {
+            _encode_node(v): bits for v, bits in compressed.membership.items()
+        },
+        "orientation_advice": {
+            _encode_node(v): bits
+            for v, bits in compressed.orientation_advice.items()
+        },
+    }
+    Path(path).write_text(json.dumps(payload, sort_keys=True))
+
+
+def load_compressed_edges(
+    path: PathLike, graph: LocalGraph
+) -> CompressedEdgeSet:
+    payload = json.loads(Path(path).read_text())
+    if (
+        payload.get("kind") != "compressed-edges"
+        or payload.get("format") != _FORMAT_VERSION
+    ):
+        raise AdviceError(f"{path}: not a v{_FORMAT_VERSION} compressed-edges file")
+    _check_fingerprint(graph, payload["graph"])
+    return CompressedEdgeSet(
+        membership={
+            _decode_node(k): v for k, v in payload["membership"].items()
+        },
+        orientation_advice={
+            _decode_node(k): v
+            for k, v in payload["orientation_advice"].items()
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Schema run reports
+# ---------------------------------------------------------------------------
+
+
+def run_report(run: SchemaRun) -> Dict[str, object]:
+    """A JSON-serializable summary of a :class:`SchemaRun` (no labelings —
+    those can be huge and are re-derivable from the advice)."""
+    return {
+        "schema": run.schema_name,
+        "valid": run.valid,
+        "rounds": run.rounds,
+        "beta": run.beta,
+        "schema_type": run.schema_type,
+        "total_advice_bits": run.total_advice_bits,
+        "bits_per_node": run.bits_per_node,
+        "n": run.n,
+        "max_degree": run.max_degree,
+    }
+
+
+def save_run_report(path: PathLike, run: SchemaRun) -> None:
+    Path(path).write_text(json.dumps(run_report(run), sort_keys=True))
+
+
+def load_run_report(path: PathLike) -> Dict[str, object]:
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,202 @@
+"""Graph generators for the experiment families.
+
+All generators return plain :class:`networkx.Graph` objects; wrap them in
+:class:`repro.local.LocalGraph` (optionally with a seeded identifier
+permutation) to simulate.  Families of *sub-exponential growth* — cycles,
+paths, grids, tori — are the setting of Section 4; bounded-degree trees and
+hypercube-like graphs provide the exponential-growth contrast for the
+Section 8 discussion.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+import networkx as nx
+
+
+def cycle(n: int) -> nx.Graph:
+    """The ``n``-cycle (n >= 3): the canonical hard case for orientation."""
+    if n < 3:
+        raise ValueError("a cycle needs at least 3 nodes")
+    return nx.cycle_graph(n)
+
+
+def path(n: int) -> nx.Graph:
+    """The n-node path graph."""
+    if n < 1:
+        raise ValueError("a path needs at least 1 node")
+    return nx.path_graph(n)
+
+
+def grid(rows: int, cols: int) -> nx.Graph:
+    """2D grid: polynomial growth, max degree 4."""
+    graph = nx.grid_2d_graph(rows, cols)
+    return nx.convert_node_labels_to_integers(graph, ordering="sorted")
+
+
+def torus(rows: int, cols: int) -> nx.Graph:
+    """2D torus: 4-regular, polynomial growth, all degrees even."""
+    if rows < 3 or cols < 3:
+        raise ValueError("torus dimensions must be >= 3")
+    graph = nx.grid_2d_graph(rows, cols, periodic=True)
+    return nx.convert_node_labels_to_integers(graph, ordering="sorted")
+
+
+def complete(n: int) -> nx.Graph:
+    """The complete graph K_n."""
+    return nx.complete_graph(n)
+
+
+def star(leaves: int) -> nx.Graph:
+    """A star: one hub, ``leaves`` pendant nodes."""
+    return nx.star_graph(leaves)
+
+
+def binary_tree(depth: int) -> nx.Graph:
+    """Complete binary tree: exponential growth, max degree 3."""
+    return nx.balanced_tree(2, depth)
+
+
+def hypercube(dim: int) -> nx.Graph:
+    """The ``dim``-dimensional hypercube (2^dim nodes, dim-regular)."""
+    graph = nx.hypercube_graph(dim)
+    return nx.convert_node_labels_to_integers(graph, ordering="sorted")
+
+
+def random_regular(n: int, d: int, seed: Optional[int] = None) -> nx.Graph:
+    """A random simple ``d``-regular graph on ``n`` nodes."""
+    if n * d % 2 != 0:
+        raise ValueError("n * d must be even for a d-regular graph")
+    return nx.random_regular_graph(d, n, seed=seed)
+
+
+def random_bipartite_regular(
+    side: int, d: int, seed: Optional[int] = None
+) -> nx.Graph:
+    """A random bipartite ``d``-regular simple graph with ``side`` nodes per side.
+
+    Built as the union of ``d`` random perfect matchings, resampled until
+    simple (no parallel edges).  Left nodes are ``0..side-1``, right nodes
+    ``side..2*side-1``.
+    """
+    if d > side:
+        raise ValueError("d-regular bipartite needs side >= d")
+    rng = random.Random(seed)
+    edges = set()
+    for _ in range(d):
+        # Retry just this matching until it avoids all earlier ones; the
+        # success probability per draw is roughly e^{-(d-1)}.
+        for _ in range(200_000):
+            perm = list(range(side))
+            rng.shuffle(perm)
+            matching = {(left, side + perm[left]) for left in range(side)}
+            if not (matching & edges):
+                edges |= matching
+                break
+        else:
+            raise RuntimeError(
+                "failed to sample a simple bipartite regular graph; "
+                "increase side or decrease d"
+            )
+    graph = nx.Graph()
+    graph.add_nodes_from(range(2 * side))
+    graph.add_edges_from(edges)
+    return graph
+
+
+def disjoint_cycles(lengths: List[int]) -> nx.Graph:
+    """Disjoint union of cycles — every node has even degree 2."""
+    graph = nx.Graph()
+    offset = 0
+    for length in lengths:
+        if length < 3:
+            raise ValueError("cycle lengths must be >= 3")
+        nodes = list(range(offset, offset + length))
+        graph.add_nodes_from(nodes)
+        for i, v in enumerate(nodes):
+            graph.add_edge(v, nodes[(i + 1) % length])
+        offset += length
+    return graph
+
+
+def even_degree_graph(n: int, seed: Optional[int] = None) -> nx.Graph:
+    """A connected graph where every node has even degree.
+
+    Construction: start from an ``n``-cycle and superpose extra randomly
+    rotated cycles over the same node set; each superposed cycle adds 2 to
+    every degree, so parity stays even.  Multi-edges are skipped (both
+    endpoints lose 2, preserving parity per node... they lose 1 each per
+    skipped edge, so instead we resample the rotation until no collision).
+    """
+    if n < 5:
+        raise ValueError("need n >= 5")
+    rng = random.Random(seed)
+    graph = nx.cycle_graph(n)
+    for _ in range(50):
+        shift = rng.randrange(2, n - 1)
+        extra = [(v, (v + shift) % n) for v in range(n)]
+        if all(not graph.has_edge(a, b) and a != b for a, b in extra):
+            # Adding the permutation cycle(s) v -> v+shift adds degree 2
+            # everywhere (one out, one in, viewed undirected).
+            graph.add_edges_from(extra)
+            return graph
+    return graph  # fall back to the plain cycle: still all-even degrees
+
+
+def caterpillar(spine: int, legs: int) -> nx.Graph:
+    """Path with ``legs`` pendant nodes per spine node (odd-degree mix)."""
+    graph = nx.path_graph(spine)
+    nxt = spine
+    for v in range(spine):
+        for _ in range(legs):
+            graph.add_edge(v, nxt)
+            nxt += 1
+    return graph
+
+
+def king_grid(rows: int, cols: int) -> nx.Graph:
+    """Grid with diagonal adjacencies (max degree 8, polynomial growth)."""
+    graph = nx.Graph()
+    for r in range(rows):
+        for c in range(cols):
+            graph.add_node((r, c))
+    for r in range(rows):
+        for c in range(cols):
+            for dr in (-1, 0, 1):
+                for dc in (-1, 0, 1):
+                    if dr == dc == 0:
+                        continue
+                    rr, cc = r + dr, c + dc
+                    if 0 <= rr < rows and 0 <= cc < cols:
+                        graph.add_edge((r, c), (rr, cc))
+    return nx.convert_node_labels_to_integers(graph, ordering="sorted")
+
+
+def triangular_grid(rows: int, cols: int) -> nx.Graph:
+    """Triangular lattice patch (max degree 6, polynomial growth).
+
+    Built as a grid with one diagonal per cell — another Section 4 family
+    with sub-exponential growth but odd cycles (3-colorable, not 2-).
+    """
+    graph = nx.Graph()
+    for r in range(rows):
+        for c in range(cols):
+            graph.add_node((r, c))
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                graph.add_edge((r, c), (r, c + 1))
+            if r + 1 < rows:
+                graph.add_edge((r, c), (r + 1, c))
+            if r + 1 < rows and c + 1 < cols:
+                graph.add_edge((r, c), (r + 1, c + 1))
+    return nx.convert_node_labels_to_integers(graph, ordering="sorted")
+
+
+def hex_grid(rows: int, cols: int) -> nx.Graph:
+    """Hexagonal (honeycomb) lattice patch: max degree 3, bipartite,
+    sub-exponential growth — the sparse end of the Section 4 families."""
+    graph = nx.hexagonal_lattice_graph(rows, cols)
+    return nx.convert_node_labels_to_integers(graph, ordering="sorted")

@@ -1,0 +1,227 @@
+"""Generators with certified planted solutions.
+
+The advice *encoder* of the paper is computationally unbounded: it knows a
+solution of the target problem.  On simulable sizes we give the encoder the
+same power by planting a certified solution at generation time (and, for
+small instances, by exact solving).  Each generator returns the graph
+together with its certificate.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+
+def planted_k_colorable(
+    n: int,
+    k: int,
+    max_degree: Optional[int] = None,
+    edge_factor: float = 1.5,
+    seed: Optional[int] = None,
+    connected: bool = True,
+) -> Tuple[nx.Graph, Dict[int, int]]:
+    """A connected ``k``-colorable graph with a planted proper ``k``-coloring.
+
+    Nodes are split into ``k`` color classes; edges are only added across
+    classes, respecting ``max_degree`` when given.  Roughly
+    ``edge_factor * n`` random cross-class edges are attempted after a
+    spanning backbone guarantees connectivity.
+
+    Returns ``(graph, coloring)`` with ``coloring[v] in 1..k``.
+    """
+    if k < 2:
+        raise ValueError("k must be >= 2")
+    if n < k:
+        raise ValueError("need n >= k")
+    rng = random.Random(seed)
+    colors = {v: (v % k) + 1 for v in range(n)}
+    # Shuffle class membership so color classes are not contiguous ranges.
+    perm = list(range(n))
+    rng.shuffle(perm)
+    coloring = {v: colors[perm[v]] for v in range(n)}
+
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+
+    def can_add(u: int, v: int) -> bool:
+        if u == v or coloring[u] == coloring[v] or graph.has_edge(u, v):
+            return False
+        if max_degree is not None and (
+            graph.degree(u) >= max_degree or graph.degree(v) >= max_degree
+        ):
+            return False
+        return True
+
+    if connected:
+        # Backbone: connect node i to a random earlier node of another
+        # color.  Nodes whose earlier prefix is monochromatic in their own
+        # color are deferred to a second pass (by then all colors exist).
+        order = list(range(n))
+        rng.shuffle(order)
+        deferred: List[int] = []
+        for idx in range(1, n):
+            v = order[idx]
+            candidates = [u for u in order[:idx] if can_add(u, v)]
+            if not candidates:
+                # Fall back to any earlier differently-colored node,
+                # temporarily ignoring the degree cap.
+                candidates = [
+                    u for u in order[:idx] if coloring[u] != coloring[v]
+                ]
+            if candidates:
+                graph.add_edge(rng.choice(candidates), v)
+            else:
+                deferred.append(v)
+        for v in deferred:
+            candidates = [u for u in range(n) if can_add(u, v)] or [
+                u for u in range(n) if coloring[u] != coloring[v]
+            ]
+            graph.add_edge(rng.choice(candidates), v)
+
+    attempts = int(edge_factor * n)
+    for _ in range(attempts):
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if can_add(u, v):
+            graph.add_edge(u, v)
+    return graph, coloring
+
+
+def planted_three_colorable(
+    n: int,
+    max_degree: Optional[int] = None,
+    edge_factor: float = 1.5,
+    seed: Optional[int] = None,
+) -> Tuple[nx.Graph, Dict[int, int]]:
+    """Shortcut for :func:`planted_k_colorable` with ``k=3`` (Section 7)."""
+    return planted_k_colorable(
+        n, 3, max_degree=max_degree, edge_factor=edge_factor, seed=seed
+    )
+
+
+def planted_delta_colorable(
+    n: int, delta: int, seed: Optional[int] = None
+) -> Tuple[nx.Graph, Dict[int, int]]:
+    """A connected graph with max degree <= ``delta`` that is
+    ``delta``-colorable, with a planted ``delta``-coloring (Section 6).
+
+    The degree cap equals the number of colors, so the instances sit in the
+    regime the Delta-coloring schema targets (Brooks-style: neither cliques
+    on ``delta + 1`` nodes nor odd cycles can appear, since all edges cross
+    planted color classes).
+    """
+    if delta < 3:
+        raise ValueError("delta must be >= 3 (delta=2 means paths/cycles)")
+    return planted_k_colorable(
+        n, delta, max_degree=delta, edge_factor=2.0, seed=seed
+    )
+
+
+def greedy_recolor(graph: nx.Graph, coloring: Dict[int, int]) -> Dict[int, int]:
+    """Convert a proper coloring into a *greedy* coloring.
+
+    Section 7 fixes "a greedy 3-coloring": every node of color ``i`` has
+    neighbors of all colors ``< i``.  Equivalently, no node can lower its
+    color while staying proper.  We reach that fixpoint by repeatedly giving
+    each node the smallest color unused in its neighborhood; each pass only
+    lowers colors, so this terminates and preserves properness and the
+    number of colors used never grows.
+    """
+    result = dict(coloring)
+    changed = True
+    while changed:
+        changed = False
+        for v in graph.nodes():
+            taken = {result[u] for u in graph.neighbors(v)}
+            smallest = 1
+            while smallest in taken:
+                smallest += 1
+            if smallest < result[v]:
+                result[v] = smallest
+                changed = True
+    return result
+
+
+def is_greedy_coloring(graph: nx.Graph, coloring: Dict[int, int]) -> bool:
+    """Check the greedy property: nobody could lower their color."""
+    for v in graph.nodes():
+        taken = {coloring[u] for u in graph.neighbors(v)}
+        for lower in range(1, coloring[v]):
+            if lower not in taken:
+                return False
+    return True
+
+
+def planted_bipartite_even_degree(
+    side: int, d: int, seed: Optional[int] = None
+) -> Tuple[nx.Graph, Dict[int, int]]:
+    """Bipartite graph, all degrees even (= ``d`` with ``d`` even), plus its
+    2-coloring certificate — the input family for splitting (Section 5)."""
+    if d % 2 != 0:
+        raise ValueError("d must be even so every node has even degree")
+    from .generators import random_bipartite_regular
+
+    graph = random_bipartite_regular(side, d, seed=seed)
+    two_coloring = {v: 1 if v < side else 2 for v in graph.nodes()}
+    return graph, two_coloring
+
+
+def random_edge_subset(
+    graph: nx.Graph, density: float = 0.5, seed: Optional[int] = None
+) -> List[Tuple[int, int]]:
+    """A random subset ``X`` of the edges (the decompression payload)."""
+    rng = random.Random(seed)
+    return [e for e in graph.edges() if rng.random() < density]
+
+
+def three_color_caterpillar(m: int) -> Tuple[nx.Graph, Dict[int, int]]:
+    """A 3-colorable graph whose colors-{2,3} subgraph is one long path.
+
+    Spine nodes ``0..m-1`` form a path alternating colors 2/3; each spine
+    node carries a pendant color-1 node ``m + i``.  The planted coloring is
+    *greedy* (each spine node has a color-1 neighbor; color-3 nodes also
+    have a color-2 spine neighbor), and the ``G_{2,3}`` component has
+    diameter ``m - 1`` — the workload for the Section 7 type-23 groups.
+    """
+    if m < 2:
+        raise ValueError("need m >= 2")
+    graph = nx.path_graph(m)
+    coloring = {i: (2 if i % 2 == 0 else 3) for i in range(m)}
+    for i in range(m):
+        graph.add_edge(i, m + i)
+        coloring[m + i] = 1
+    return graph, coloring
+
+
+def three_color_ladder(m: int) -> Tuple[nx.Graph, Dict[int, int]]:
+    """A 3-colorable graph whose colors-{2,3} subgraph is a 2-by-``m``
+    ladder (branchier than the caterpillar's path).
+
+    Ladder nodes ``(i, j)`` for rails ``i in {0, 1}`` are numbered
+    ``2j + i``; rungs join the rails, and every ladder node carries a
+    pendant color-1 node.  The planted coloring is greedy and the
+    ``G_{2,3}`` component has diameter ``m`` — a Section 7 workload whose
+    bit groups sit on a non-path component.
+    """
+    if m < 2:
+        raise ValueError("need m >= 2")
+    graph = nx.Graph()
+    coloring: Dict[int, int] = {}
+    for j in range(m):
+        for i in range(2):
+            v = 2 * j + i
+            graph.add_node(v)
+            coloring[v] = 2 if (i + j) % 2 == 0 else 3
+    for j in range(m):
+        graph.add_edge(2 * j, 2 * j + 1)  # rung
+        if j + 1 < m:
+            graph.add_edge(2 * j, 2 * (j + 1))
+            graph.add_edge(2 * j + 1, 2 * (j + 1) + 1)
+    base = 2 * m
+    for v in range(2 * m):
+        graph.add_edge(v, base + v)
+        coloring[base + v] = 1
+    return graph, coloring

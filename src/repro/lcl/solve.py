@@ -1,0 +1,205 @@
+"""Exact (exponential-time) LCL solving for small regions.
+
+The Section 4 schema completes solutions "inside each cluster by brute
+force": the cluster center knows the cluster's topology and the advice-fixed
+labels on the border, and searches for any completion.  The encoder side of
+several schemas similarly needs *some* global solution.  Both are served by
+the backtracking solver here.
+
+The solver relies on the catalog predicates being *monotone under
+refinement*: a predicate may only report a violation that no completion of
+the partial labeling could fix (unlabeled neighbors are treated
+optimistically).  All catalog problems satisfy this, which makes incremental
+pruning sound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..local.graph import LocalGraph, Node
+from .problem import Label, LCLProblem
+
+
+class SearchBudgetExceeded(RuntimeError):
+    """Raised when the backtracking search exceeds its step budget."""
+
+
+def _bfs_order(graph: LocalGraph, nodes: Sequence[Node]) -> List[Node]:
+    """Order ``nodes`` so that consecutive nodes are close (better pruning)."""
+    todo = set(nodes)
+    order: List[Node] = []
+    while todo:
+        start = min(todo, key=graph.id_of)
+        queue = [start]
+        seen = {start}
+        while queue:
+            v = queue.pop(0)
+            if v in todo:
+                order.append(v)
+                todo.discard(v)
+            for u in graph.neighbors(v):
+                if u not in seen and (u in todo or any(w in todo for w in graph.neighbors(u))):
+                    seen.add(u)
+                    queue.append(u)
+        # Defensive: disconnected leftovers.
+        if todo and not queue:
+            continue
+    return order
+
+
+def solve_exact(
+    problem: LCLProblem,
+    graph: LocalGraph,
+    fixed: Optional[Mapping[Node, Label]] = None,
+    restrict_to: Optional[Iterable[Node]] = None,
+    max_steps: int = 2_000_000,
+) -> Optional[Dict[Node, Label]]:
+    """Find a labeling of ``restrict_to`` consistent with ``fixed``.
+
+    Parameters
+    ----------
+    problem:
+        The LCL to solve.
+    graph:
+        The host graph.  Validity is checked in ``graph`` (so labels of
+        ``fixed`` nodes outside ``restrict_to`` constrain the solution).
+    fixed:
+        Pre-assigned labels that must be respected (the advice-decoded
+        border labels in the Section 4 schema).
+    restrict_to:
+        The nodes to label.  Defaults to all unlabeled nodes.  Local checks
+        are run at every labeled node; nodes that remain unlabeled are
+        treated optimistically, so the caller is responsible for a final
+        global check once every region is completed.
+    max_steps:
+        Backtracking-step budget; exceeding it raises
+        :class:`SearchBudgetExceeded` (it never silently returns ``None``).
+
+    Returns
+    -------
+    The combined labeling (``fixed`` plus assignments), or ``None`` when no
+    completion exists.
+    """
+    fixed = dict(fixed or {})
+    if restrict_to is None:
+        targets = [v for v in graph.nodes() if v not in fixed]
+    else:
+        targets = [v for v in restrict_to if v not in fixed]
+    order = _bfs_order(graph, targets)
+    labeling: Dict[Node, Label] = dict(fixed)
+    radius = problem.radius
+    steps = 0
+
+    def consistent_after(v: Node) -> bool:
+        # Re-check every labeled node whose r-ball contains v.
+        for u in graph.ball(v, radius):
+            if u in labeling and not problem.is_valid_at(graph, labeling, u):
+                return False
+        return True
+
+    # Fixed labels must themselves be consistent before we search.
+    for v in fixed:
+        if not problem.is_valid_at(graph, labeling, v):
+            return None
+
+    # Iterative backtracking (regions can exceed Python's recursion limit).
+    iterators = [iter(problem.candidate_labels(graph, v)) for v in order]
+    index = 0
+    while index < len(order):
+        v = order[index]
+        advanced = False
+        for label in iterators[index]:
+            steps += 1
+            if steps > max_steps:
+                raise SearchBudgetExceeded(
+                    f"{problem.name}: exceeded {max_steps} backtracking steps"
+                )
+            labeling[v] = label
+            if consistent_after(v):
+                advanced = True
+                break
+            del labeling[v]
+        if advanced:
+            index += 1
+            if index < len(order):
+                iterators[index] = iter(problem.candidate_labels(graph, order[index]))
+        else:
+            labeling.pop(v, None)
+            index -= 1
+            if index < 0:
+                return None
+            labeling.pop(order[index], None)
+    return labeling
+
+
+def solve_component(
+    problem: LCLProblem,
+    graph: LocalGraph,
+    component: Iterable[Node],
+    fixed: Optional[Mapping[Node, Label]] = None,
+    max_steps: int = 2_000_000,
+) -> Optional[Dict[Node, Label]]:
+    """Solve the problem on one connected component (convenience wrapper)."""
+    return solve_exact(
+        problem, graph, fixed=fixed, restrict_to=component, max_steps=max_steps
+    )
+
+
+def count_solutions(
+    problem: LCLProblem,
+    graph: LocalGraph,
+    max_steps: int = 2_000_000,
+) -> int:
+    """Count complete valid labelings (for tiny graphs / tests only)."""
+    order = _bfs_order(graph, graph.nodes())
+    labeling: Dict[Node, Label] = {}
+    radius = problem.radius
+    count = 0
+    steps = 0
+
+    def consistent_after(v: Node) -> bool:
+        for u in graph.ball(v, radius):
+            if u in labeling and not problem.is_valid_at(graph, labeling, u):
+                return False
+        return True
+
+    # Iterative enumeration (mirrors solve_exact's stack discipline).
+    iterators = [iter(problem.candidate_labels(graph, v)) for v in order]
+    index = 0
+    while index >= 0:
+        if index == len(order):
+            # Full labeling: confirm global validity (handles maximality).
+            if all(
+                problem.is_valid_at(graph, labeling, v) for v in graph.nodes()
+            ):
+                count += 1
+            index -= 1
+            if index >= 0:
+                labeling.pop(order[index], None)
+            continue
+        v = order[index]
+        advanced = False
+        for label in iterators[index]:
+            steps += 1
+            if steps > max_steps:
+                raise SearchBudgetExceeded(
+                    f"{problem.name}: exceeded {max_steps} steps while counting"
+                )
+            labeling[v] = label
+            if consistent_after(v):
+                advanced = True
+                break
+            del labeling[v]
+        if advanced:
+            index += 1
+            if index < len(order):
+                iterators[index] = iter(
+                    problem.candidate_labels(graph, order[index])
+                )
+        else:
+            labeling.pop(v, None)
+            index -= 1
+            if index >= 0:
+                labeling.pop(order[index], None)
+    return count

@@ -1,0 +1,41 @@
+"""Distributed verification of LCL solutions.
+
+An LCL solution is valid iff every node's radius-``r`` neighborhood is
+valid — this is what makes the problems *locally checkable* and underpins
+the paper's corollary that every advice schema yields a locally checkable
+proof (Section 1.2): to verify, recover the solution from the advice and run
+exactly this check.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..local.graph import LocalGraph, Node
+from .problem import Labeling, LCLProblem
+
+
+def violations(problem: LCLProblem, graph: LocalGraph, labeling: Labeling) -> List[Node]:
+    """Nodes whose radius-``r`` neighborhood violates the constraint."""
+    return [v for v in graph.nodes() if not problem.is_valid_at(graph, labeling, v)]
+
+
+def is_valid(problem: LCLProblem, graph: LocalGraph, labeling: Labeling) -> bool:
+    """Global validity = local validity everywhere."""
+    return all(problem.is_valid_at(graph, labeling, v) for v in graph.nodes())
+
+
+def assert_valid(problem: LCLProblem, graph: LocalGraph, labeling: Labeling) -> None:
+    """Raise ``AssertionError`` with the offending nodes if invalid."""
+    bad = violations(problem, graph, labeling)
+    if bad:
+        raise AssertionError(
+            f"{problem.name}: invalid at {len(bad)} nodes, e.g. {bad[:5]!r}"
+        )
+
+
+def accept_map(
+    problem: LCLProblem, graph: LocalGraph, labeling: Labeling
+) -> Dict[Node, bool]:
+    """Per-node accept/reject decisions of the distributed verifier."""
+    return {v: problem.is_valid_at(graph, labeling, v) for v in graph.nodes()}

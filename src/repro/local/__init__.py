@@ -1,0 +1,32 @@
+"""LOCAL-model substrate: graphs, views, and execution engines."""
+
+from .algorithm import LocalityTracker
+from .graph import LocalGraph, LocalGraphError, Node
+from .model import (
+    GatherAlgorithm,
+    MessagePassingAlgorithm,
+    MessageTrace,
+    NodeContext,
+    RunResult,
+    SimulationError,
+    run_message_passing,
+    run_view_algorithm,
+)
+from .views import View, gather_view
+
+__all__ = [
+    "GatherAlgorithm",
+    "LocalGraph",
+    "LocalGraphError",
+    "LocalityTracker",
+    "MessagePassingAlgorithm",
+    "MessageTrace",
+    "Node",
+    "NodeContext",
+    "RunResult",
+    "SimulationError",
+    "View",
+    "gather_view",
+    "run_message_passing",
+    "run_view_algorithm",
+]

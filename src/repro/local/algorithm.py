@@ -1,0 +1,83 @@
+"""Locality accounting for per-node decoders.
+
+The advice-schema decoders in :mod:`repro.schemas` are written in the
+natural "each node inspects a ball around itself" style.  To keep their
+round complexity *honest* — the paper's claims are all of the form
+"T(Delta) rounds, independent of n" — every ball access goes through a
+:class:`LocalityTracker`, which records the largest radius any node ever
+requested.  That maximum radius *is* the LOCAL round complexity of the
+decoder (a T-round algorithm sees exactly the radius-T ball), and the
+benchmark harness reports it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import networkx as nx
+
+from .graph import LocalGraph, Node
+
+
+class LocalityTracker:
+    """Wraps a :class:`LocalGraph`, recording the locality of every query.
+
+    All ball/sphere/subgraph accessors mirror :class:`LocalGraph` but bump
+    :attr:`max_radius`.  ``rounds`` is the resulting LOCAL round bound.
+    """
+
+    def __init__(self, graph: LocalGraph) -> None:
+        self.graph = graph
+        self.max_radius = 0
+        self.queries = 0
+
+    # -- accounting ----------------------------------------------------------
+
+    def _record(self, radius: int) -> None:
+        self.queries += 1
+        if radius > self.max_radius:
+            self.max_radius = radius
+
+    @property
+    def rounds(self) -> int:
+        """The LOCAL round complexity implied by the recorded queries."""
+        return self.max_radius
+
+    def charge(self, radius: int) -> None:
+        """Manually account for ``radius`` rounds of communication."""
+        self._record(radius)
+
+    # -- mirrored accessors ----------------------------------------------------
+
+    def ball(self, v: Node, radius: int) -> List[Node]:
+        self._record(radius)
+        return self.graph.ball(v, radius)
+
+    def sphere(self, v: Node, radius: int) -> List[Node]:
+        self._record(radius)
+        return self.graph.sphere(v, radius)
+
+    def ball_subgraph(self, v: Node, radius: int) -> nx.Graph:
+        self._record(radius)
+        return self.graph.ball_subgraph(v, radius)
+
+    def neighbors(self, v: Node) -> List[Node]:
+        self._record(1)
+        return self.graph.neighbors(v)
+
+    def degree(self, v: Node) -> int:
+        return self.graph.degree(v)
+
+    def id_of(self, v: Node) -> int:
+        return self.graph.id_of(v)
+
+    def input_of(self, v: Node) -> object:
+        return self.graph.input_of(v)
+
+    @property
+    def max_degree(self) -> int:
+        return self.graph.max_degree
+
+    @property
+    def n(self) -> int:
+        return self.graph.n

@@ -1,0 +1,267 @@
+"""Communication graphs for the LOCAL model.
+
+The LOCAL model (Section 3.2 of the paper) works on an ``n``-node graph in
+which every node carries a unique identifier from ``{1, ..., n^c}``.  A node
+initially knows its own identifier, its degree, the maximum degree ``Delta``
+of the graph, and ``n``.  Computation proceeds in synchronous rounds; in
+``T`` rounds a node can learn exactly its radius-``T`` neighborhood.
+
+:class:`LocalGraph` wraps a :class:`networkx.Graph` with the bookkeeping the
+simulator needs: identifier assignment, port numberings (incident edges
+sorted by neighbor identifier), ball extraction, and distance queries.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+
+import networkx as nx
+
+Node = Hashable
+
+
+class LocalGraphError(ValueError):
+    """Raised for malformed inputs to :class:`LocalGraph`."""
+
+
+class LocalGraph:
+    """A simple undirected graph prepared for LOCAL-model simulation.
+
+    Parameters
+    ----------
+    graph:
+        The underlying :class:`networkx.Graph`.  Self-loops and multi-edges
+        are rejected; the LOCAL model of the paper is defined on simple
+        graphs.
+    ids:
+        Optional mapping ``node -> identifier``.  Identifiers must be
+        distinct positive integers.  When omitted, nodes are numbered
+        ``1..n`` in an order chosen by ``seed`` (a random permutation when a
+        seed is given, insertion order otherwise).
+    inputs:
+        Optional mapping ``node -> input label`` (the ``I`` of an
+        input-labeled graph ``G = (V, E, I)``).
+    seed:
+        Seed for the random identifier permutation.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        ids: Optional[Mapping[Node, int]] = None,
+        inputs: Optional[Mapping[Node, object]] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        if graph.is_directed():
+            raise LocalGraphError("LocalGraph requires an undirected graph")
+        if graph.is_multigraph():
+            raise LocalGraphError("LocalGraph requires a simple graph")
+        if any(u == v for u, v in graph.edges()):
+            raise LocalGraphError("LocalGraph rejects self-loops")
+
+        self._graph = graph
+        self._nodes: List[Node] = list(graph.nodes())
+        if ids is None:
+            order = list(self._nodes)
+            if seed is not None:
+                random.Random(seed).shuffle(order)
+            ids = {v: i + 1 for i, v in enumerate(order)}
+        self._validate_ids(ids)
+        self._id_of: Dict[Node, int] = {v: int(ids[v]) for v in self._nodes}
+        self._node_of: Dict[int, Node] = {i: v for v, i in self._id_of.items()}
+        self._inputs: Dict[Node, object] = dict(inputs) if inputs else {}
+        self._ball_cache: Dict[Tuple[Node, int], Tuple[Node, ...]] = {}
+
+    # -- construction helpers -------------------------------------------------
+
+    def _validate_ids(self, ids: Mapping[Node, int]) -> None:
+        missing = [v for v in self._nodes if v not in ids]
+        if missing:
+            raise LocalGraphError(f"ids missing for {len(missing)} nodes, e.g. {missing[0]!r}")
+        values = [int(ids[v]) for v in self._nodes]
+        if len(set(values)) != len(values):
+            raise LocalGraphError("identifiers must be distinct")
+        if values and min(values) < 1:
+            raise LocalGraphError("identifiers must be positive integers")
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Tuple[Node, Node]],
+        nodes: Optional[Iterable[Node]] = None,
+        **kwargs: object,
+    ) -> "LocalGraph":
+        """Build a :class:`LocalGraph` from an edge list (plus isolated nodes)."""
+        graph = nx.Graph()
+        if nodes is not None:
+            graph.add_nodes_from(nodes)
+        graph.add_edges_from(edges)
+        return cls(graph, **kwargs)  # type: ignore[arg-type]
+
+    # -- basic accessors -------------------------------------------------------
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The underlying networkx graph (treat as read-only)."""
+        return self._graph
+
+    @property
+    def n(self) -> int:
+        return self._graph.number_of_nodes()
+
+    @property
+    def m(self) -> int:
+        return self._graph.number_of_edges()
+
+    @property
+    def max_degree(self) -> int:
+        """``Delta``: the maximum degree, known to every node up front."""
+        if self.n == 0:
+            return 0
+        return max(d for _, d in self._graph.degree())
+
+    def nodes(self) -> List[Node]:
+        return list(self._nodes)
+
+    def edges(self) -> List[Tuple[Node, Node]]:
+        return list(self._graph.edges())
+
+    def degree(self, v: Node) -> int:
+        return self._graph.degree(v)
+
+    def id_of(self, v: Node) -> int:
+        return self._id_of[v]
+
+    def node_of(self, node_id: int) -> Node:
+        return self._node_of[node_id]
+
+    def ids(self) -> Dict[Node, int]:
+        return dict(self._id_of)
+
+    def input_of(self, v: Node) -> object:
+        return self._inputs.get(v)
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        return self._graph.has_edge(u, v)
+
+    # -- ports -----------------------------------------------------------------
+
+    def neighbors(self, v: Node) -> List[Node]:
+        """Neighbors of ``v`` in increasing identifier order (port order)."""
+        return sorted(self._graph.neighbors(v), key=self._id_of.__getitem__)
+
+    def port_of(self, v: Node, u: Node) -> int:
+        """Port index (0-based) of the edge ``{v, u}`` at ``v``."""
+        try:
+            return self.neighbors(v).index(u)
+        except ValueError:
+            raise LocalGraphError(f"{u!r} is not a neighbor of {v!r}") from None
+
+    def neighbor_at_port(self, v: Node, port: int) -> Node:
+        nbrs = self.neighbors(v)
+        if not 0 <= port < len(nbrs):
+            raise LocalGraphError(f"node {v!r} has no port {port}")
+        return nbrs[port]
+
+    # -- distances and balls ----------------------------------------------------
+
+    def bfs_layers(self, v: Node, radius: Optional[int] = None) -> Iterator[List[Node]]:
+        """Yield the BFS layers ``N_{=0}(v), N_{=1}(v), ...`` up to ``radius``."""
+        seen: Set[Node] = {v}
+        layer = [v]
+        dist = 0
+        while layer:
+            yield layer
+            if radius is not None and dist >= radius:
+                return
+            next_layer: List[Node] = []
+            for u in layer:
+                for w in self._graph.neighbors(u):
+                    if w not in seen:
+                        seen.add(w)
+                        next_layer.append(w)
+            layer = next_layer
+            dist += 1
+
+    def ball(self, v: Node, radius: int) -> List[Node]:
+        """``N_{<= radius}(v)``: all nodes within distance ``radius`` of ``v``."""
+        if radius < 0:
+            return []
+        key = (v, radius)
+        cached = self._ball_cache.get(key)
+        if cached is None:
+            nodes = [u for layer in self.bfs_layers(v, radius) for u in layer]
+            cached = tuple(nodes)
+            # Bound the cache so long sweeps over many radii stay small.
+            if len(self._ball_cache) > 4 * self.n:
+                self._ball_cache.clear()
+            self._ball_cache[key] = cached
+        return list(cached)
+
+    def sphere(self, v: Node, radius: int) -> List[Node]:
+        """``N_{= radius}(v)``: nodes at distance exactly ``radius`` from ``v``."""
+        if radius < 0:
+            return []
+        layers = list(self.bfs_layers(v, radius))
+        if len(layers) <= radius:
+            return []
+        return layers[radius]
+
+    def ball_subgraph(self, v: Node, radius: int) -> nx.Graph:
+        """The subgraph induced by ``N_{<= radius}(v)``."""
+        return self._graph.subgraph(self.ball(v, radius)).copy()
+
+    def distance(self, u: Node, v: Node) -> float:
+        """Hop distance between ``u`` and ``v`` (``inf`` if disconnected)."""
+        if u == v:
+            return 0
+        seen = {u}
+        frontier = deque([(u, 0)])
+        while frontier:
+            node, d = frontier.popleft()
+            for w in self._graph.neighbors(node):
+                if w == v:
+                    return d + 1
+                if w not in seen:
+                    seen.add(w)
+                    frontier.append((w, d + 1))
+        return float("inf")
+
+    def eccentricity_bounded(self, v: Node, bound: int) -> int:
+        """Eccentricity of ``v`` within its component, capped at ``bound + 1``.
+
+        Returns the true eccentricity if it is ``<= bound``; otherwise
+        ``bound + 1``.  Useful for diameter thresholds without full BFS.
+        """
+        layers = list(self.bfs_layers(v, bound + 1))
+        return len(layers) - 1
+
+    def power_graph(self, k: int) -> nx.Graph:
+        """The ``k``-th power graph ``G^k`` (edges between nodes at distance 1..k)."""
+        if k < 1:
+            raise LocalGraphError("power graph exponent must be >= 1")
+        power = nx.Graph()
+        power.add_nodes_from(self._nodes)
+        for v in self._nodes:
+            for u in self.ball(v, k):
+                if u != v:
+                    power.add_edge(v, u)
+        return power
+
+    # -- convenience ------------------------------------------------------------
+
+    def components(self) -> List[Set[Node]]:
+        return [set(c) for c in nx.connected_components(self._graph)]
+
+    def relabel_by_id(self) -> "LocalGraph":
+        """Return an isomorphic LocalGraph whose node names equal the identifiers."""
+        mapping = dict(self._id_of)
+        relabeled = nx.relabel_nodes(self._graph, mapping)
+        new_ids = {mapping[v]: i for v, i in self._id_of.items()}
+        new_inputs = {mapping[v]: label for v, label in self._inputs.items()}
+        return LocalGraph(relabeled, ids=new_ids, inputs=new_inputs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LocalGraph(n={self.n}, m={self.m}, max_degree={self.max_degree})"

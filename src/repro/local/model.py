@@ -1,0 +1,310 @@
+"""Synchronous LOCAL-model execution engines.
+
+Two equivalent semantics are provided:
+
+* :func:`run_view_algorithm` — the *view* semantics: a ``T``-round algorithm
+  is a function from radius-``T`` views to outputs.  This is the semantics
+  under which the paper's round bounds are stated, and the one the advice
+  schemas use.
+
+* :func:`run_message_passing` — the explicit synchronous message-passing
+  semantics: per round, every node sends one (arbitrarily large) message per
+  incident edge, receives its neighbors' messages, and updates its state.
+
+The two are equivalent in the LOCAL model because messages are unbounded:
+``T`` rounds of flooding deliver exactly the radius-``T`` view.
+:class:`GatherAlgorithm` implements that flooding explicitly, and the test
+suite cross-checks the two engines against each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Mapping, Optional
+
+from .graph import LocalGraph, Node
+from .views import View, gather_view
+
+
+class SimulationError(RuntimeError):
+    """Raised when a simulated algorithm violates the model's contract."""
+
+
+@dataclass
+class RunResult:
+    """Outcome of a LOCAL simulation.
+
+    Attributes
+    ----------
+    outputs:
+        Mapping ``node -> output``.
+    rounds:
+        Number of synchronous rounds consumed.  For view algorithms this is
+        the gathering radius; for message passing it is the number of
+        executed rounds until every node halted.
+    """
+
+    outputs: Dict[Node, object]
+    rounds: int
+
+    def output_of(self, v: Node) -> object:
+        return self.outputs[v]
+
+
+@dataclass
+class NodeContext:
+    """Initial knowledge of a node in the LOCAL model (Section 3.2).
+
+    A node knows its identifier, its degree, ``n``, ``Delta``, its input
+    label, and (in the advice setting) its advice bit-string — nothing else.
+    """
+
+    node: Node
+    node_id: int
+    degree: int
+    n: int
+    max_degree: int
+    input: object = None
+    advice: str = ""
+
+
+# ---------------------------------------------------------------------------
+# View semantics
+# ---------------------------------------------------------------------------
+
+ViewFunction = Callable[[View], object]
+
+
+def run_view_algorithm(
+    graph: LocalGraph,
+    radius: int,
+    decide: ViewFunction,
+    advice: Optional[Mapping[Node, str]] = None,
+) -> RunResult:
+    """Run the ``radius``-round view algorithm ``decide`` on every node."""
+    if radius < 0:
+        raise SimulationError("radius must be non-negative")
+    outputs = {
+        v: decide(gather_view(graph, v, radius, advice=advice)) for v in graph.nodes()
+    }
+    return RunResult(outputs=outputs, rounds=radius)
+
+
+# ---------------------------------------------------------------------------
+# Message-passing semantics
+# ---------------------------------------------------------------------------
+
+
+class MessagePassingAlgorithm:
+    """Base class for explicit synchronous message-passing node algorithms.
+
+    Lifecycle per node: :meth:`init` once, then per round :meth:`send`
+    followed by :meth:`receive`.  A node halts by setting :attr:`output`
+    (checked after ``receive``); once every node has halted the run stops.
+    Messages are per-port: ``send`` returns ``{port_index: message}`` and
+    ``receive`` gets ``{port_index: message}`` for the ports on which a
+    neighbor sent something this round.
+    """
+
+    def __init__(self) -> None:
+        self.ctx: Optional[NodeContext] = None
+        self.output: object = _UNSET
+
+    # -- hooks -------------------------------------------------------------
+
+    def init(self, ctx: NodeContext) -> None:
+        self.ctx = ctx
+
+    def send(self, round_index: int) -> Dict[int, object]:
+        return {}
+
+    def receive(self, round_index: int, messages: Dict[int, object]) -> None:
+        raise NotImplementedError
+
+    # -- state -------------------------------------------------------------
+
+    @property
+    def halted(self) -> bool:
+        return self.output is not _UNSET
+
+
+class _Unset:
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<unset>"
+
+
+_UNSET = _Unset()
+
+
+def run_message_passing(
+    graph: LocalGraph,
+    factory: Callable[[], MessagePassingAlgorithm],
+    advice: Optional[Mapping[Node, str]] = None,
+    max_rounds: int = 10_000,
+    trace: Optional["MessageTrace"] = None,
+) -> RunResult:
+    """Run a synchronous message-passing algorithm until all nodes halt.
+
+    Pass a :class:`MessageTrace` to record per-round message counts — the
+    LOCAL model ignores message *size*, but a trace makes the communication
+    pattern of a protocol inspectable (used by the protocol tests and the
+    examples to show where traffic concentrates).
+    """
+    advice = advice or {}
+    n = graph.n
+    delta = graph.max_degree
+    algos: Dict[Node, MessagePassingAlgorithm] = {}
+    for v in graph.nodes():
+        algo = factory()
+        algo.init(
+            NodeContext(
+                node=v,
+                node_id=graph.id_of(v),
+                degree=graph.degree(v),
+                n=n,
+                max_degree=delta,
+                input=graph.input_of(v),
+                advice=advice.get(v, ""),
+            )
+        )
+        algos[v] = algo
+
+    rounds = 0
+    while not all(algo.halted for algo in algos.values()):
+        if rounds >= max_rounds:
+            raise SimulationError(f"no termination within {max_rounds} rounds")
+        outboxes = {
+            v: (algos[v].send(rounds) if not algos[v].halted else {})
+            for v in graph.nodes()
+        }
+        inboxes: Dict[Node, Dict[int, object]] = {v: {} for v in graph.nodes()}
+        for v in graph.nodes():
+            nbrs = graph.neighbors(v)
+            for port, message in outboxes[v].items():
+                if not 0 <= port < len(nbrs):
+                    raise SimulationError(f"node {v!r} sent on invalid port {port}")
+                u = nbrs[port]
+                inboxes[u][graph.port_of(u, v)] = message
+        if trace is not None:
+            trace.record_round(outboxes)
+        for v in graph.nodes():
+            if not algos[v].halted:
+                algos[v].receive(rounds, inboxes[v])
+        rounds += 1
+
+    return RunResult(outputs={v: a.output for v, a in algos.items()}, rounds=rounds)
+
+
+class MessageTrace:
+    """Per-round communication statistics of a message-passing run.
+
+    ``messages_per_round[t]`` counts the messages sent in round ``t``;
+    ``sent_by[v]`` totals the messages node ``v`` sent across the run.
+    """
+
+    def __init__(self) -> None:
+        self.messages_per_round: List[int] = []
+        self.sent_by: Dict[Node, int] = {}
+
+    def record_round(self, outboxes: Mapping[Node, Mapping[int, object]]) -> None:
+        total = 0
+        for v, outbox in outboxes.items():
+            count = len(outbox)
+            total += count
+            if count:
+                self.sent_by[v] = self.sent_by.get(v, 0) + count
+        self.messages_per_round.append(total)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.messages_per_round)
+
+    @property
+    def peak_round(self) -> int:
+        """The round with the most traffic (0 when nothing was sent)."""
+        if not self.messages_per_round or self.total_messages == 0:
+            return 0
+        return max(
+            range(len(self.messages_per_round)),
+            key=self.messages_per_round.__getitem__,
+        )
+
+
+# ---------------------------------------------------------------------------
+# The flooding algorithm proving the two semantics equivalent
+# ---------------------------------------------------------------------------
+
+
+class GatherAlgorithm(MessagePassingAlgorithm):
+    """Message-passing realization of view gathering.
+
+    In each round every node broadcasts everything it knows (node records
+    and edge records).  After ``radius`` rounds the accumulated knowledge is
+    exactly the radius-``radius`` view, and ``decide`` is applied to it.
+    Used by the test suite to certify :func:`run_view_algorithm` against the
+    explicit semantics.
+    """
+
+    def __init__(self, radius: int, decide: ViewFunction) -> None:
+        super().__init__()
+        self.radius = radius
+        self.decide = decide
+        # node_id -> (input, advice, degree, distance lower bound)
+        self.known_nodes: Dict[int, Dict[str, object]] = {}
+        self.known_edges: set = set()
+
+    def init(self, ctx: NodeContext) -> None:
+        super().init(ctx)
+        self.known_nodes[ctx.node_id] = {
+            "input": ctx.input,
+            "advice": ctx.advice,
+            "distance": 0,
+        }
+        if self.radius == 0:
+            self._finish()
+
+    def send(self, round_index: int) -> Dict[int, object]:
+        payload = (dict(self.known_nodes), set(self.known_edges), self.ctx.node_id)
+        return {port: payload for port in range(self.ctx.degree)}
+
+    def receive(self, round_index: int, messages: Dict[int, object]) -> None:
+        for nodes, edges, sender_id in messages.values():
+            self.known_edges.add(tuple(sorted((self.ctx.node_id, sender_id))))
+            self.known_edges.update(edges)
+            for node_id, record in nodes.items():
+                new_distance = record["distance"] + 1
+                existing = self.known_nodes.get(node_id)
+                if existing is None or new_distance < existing["distance"]:
+                    self.known_nodes[node_id] = {
+                        "input": record["input"],
+                        "advice": record["advice"],
+                        "distance": new_distance,
+                    }
+        if round_index + 1 >= self.radius:
+            self._finish()
+
+    def _finish(self) -> None:
+        in_range = {
+            node_id: rec
+            for node_id, rec in self.known_nodes.items()
+            if rec["distance"] <= self.radius
+        }
+        edges = frozenset(
+            (a, b)
+            for a, b in self.known_edges
+            if a in in_range and b in in_range
+            and min(in_range[a]["distance"], in_range[b]["distance"]) < self.radius
+        )
+        view = View(
+            center=self.ctx.node_id,
+            radius=self.radius,
+            nodes=frozenset(in_range),
+            edges=edges,
+            ids={node_id: node_id for node_id in in_range},
+            inputs={node_id: rec["input"] for node_id, rec in in_range.items()},
+            advice={node_id: rec["advice"] for node_id, rec in in_range.items()},
+            distances={node_id: rec["distance"] for node_id, rec in in_range.items()},
+            graph_n=self.ctx.n,
+            graph_max_degree=self.ctx.max_degree,
+        )
+        self.output = self.decide(view)

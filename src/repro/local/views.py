@@ -1,0 +1,199 @@
+"""Radius-``r`` views and order-invariance.
+
+In the LOCAL model with unbounded messages, everything a node can learn in
+``T`` rounds is its *radius-T view*: the subgraph induced by its ball of
+radius ``T``, together with the identifiers, input labels, and (here) advice
+bits inside the ball.  A ``T``-round algorithm is therefore exactly a
+function from views to outputs; :mod:`repro.local.model` exploits this
+equivalence.
+
+Section 8 of the paper converts advice algorithms into *order-invariant*
+ones — algorithms whose output depends only on the relative order of the
+identifiers in the view, not their numeric values.  :func:`View.canonical`
+computes the order-normalized form on which such algorithms operate, and
+:func:`View.order_signature` produces a hashable key so order-invariant
+algorithms can be realized as finite lookup tables
+(:mod:`repro.lower_bounds.order_invariant`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, List, Mapping, Optional, Tuple
+
+from .graph import LocalGraph, Node
+
+
+@dataclass(frozen=True)
+class View:
+    """The radius-``radius`` view of ``center`` in a :class:`LocalGraph`.
+
+    Attributes
+    ----------
+    center:
+        The node whose view this is.
+    radius:
+        The view radius (= number of LOCAL rounds spent gathering it).
+    nodes:
+        All nodes within distance ``radius`` of ``center``.
+    edges:
+        Edges of the induced subgraph *visible* to the node: every edge with
+        at least one endpoint at distance ``< radius`` (a node at the
+        boundary of the ball has not yet told the center about its incident
+        edges).
+    ids:
+        Identifier of every node in the view.
+    inputs:
+        Input label of every node in the view (``None`` when absent).
+    advice:
+        Advice bit-string of every node in the view (``""`` when absent).
+    distances:
+        Hop distance from ``center`` for every node in the view.
+    """
+
+    center: Node
+    radius: int
+    nodes: FrozenSet[Node]
+    edges: FrozenSet[Tuple[Node, Node]]
+    ids: Mapping[Node, int]
+    inputs: Mapping[Node, object]
+    advice: Mapping[Node, str]
+    distances: Mapping[Node, int]
+    graph_n: int = 0
+    graph_max_degree: int = 0
+
+    # -- basic queries ---------------------------------------------------------
+
+    def id_of(self, v: Node) -> int:
+        return self.ids[v]
+
+    def input_of(self, v: Node) -> object:
+        return self.inputs.get(v)
+
+    def advice_of(self, v: Node) -> str:
+        return self.advice.get(v, "")
+
+    def distance(self, v: Node) -> int:
+        return self.distances[v]
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        return (u, v) in self.edges or (v, u) in self.edges
+
+    def neighbors(self, v: Node) -> List[Node]:
+        """Neighbors of ``v`` visible in the view, in identifier order."""
+        found = set()
+        for a, b in self.edges:
+            if a == v:
+                found.add(b)
+            elif b == v:
+                found.add(a)
+        return sorted(found, key=lambda u: self.ids[u])
+
+    def degree(self, v: Node) -> int:
+        return len(self.neighbors(v))
+
+    def nodes_sorted(self) -> List[Node]:
+        return sorted(self.nodes, key=lambda v: self.ids[v])
+
+    # -- order invariance --------------------------------------------------------
+
+    def canonical(self) -> "View":
+        """Replace identifiers by their rank (1-based) within the view.
+
+        Two views that are order-isomorphic (same structure, same relative
+        identifier order, same inputs and advice) have equal canonical
+        forms, so an order-invariant algorithm is exactly a function of
+        ``canonical()``.
+        """
+        order = self.nodes_sorted()
+        rank = {v: i + 1 for i, v in enumerate(order)}
+        return View(
+            center=self.center,
+            radius=self.radius,
+            nodes=self.nodes,
+            edges=self.edges,
+            ids=rank,
+            inputs=self.inputs,
+            advice=self.advice,
+            distances=self.distances,
+            graph_n=self.graph_n,
+            graph_max_degree=self.graph_max_degree,
+        )
+
+    def order_signature(self) -> Tuple:
+        """A hashable, node-name-independent key of the canonical view.
+
+        Nodes are renamed to their identifier *rank*; the signature lists,
+        per rank, the distance from the center, the input, the advice, and
+        the ranks of visible neighbors.  Two views have equal signatures iff
+        they are order-isomorphic, which is the equivalence relation under
+        which order-invariant algorithms (Section 8) must behave
+        identically.
+        """
+        order = self.nodes_sorted()
+        rank = {v: i + 1 for i, v in enumerate(order)}
+        rows = []
+        for v in order:
+            nbrs = tuple(sorted(rank[u] for u in self.neighbors(v)))
+            rows.append(
+                (
+                    rank[v],
+                    self.distances[v],
+                    _freeze(self.inputs.get(v)),
+                    self.advice.get(v, ""),
+                    nbrs,
+                )
+            )
+        return (self.radius, rank[self.center], tuple(rows))
+
+
+def _freeze(value: object) -> object:
+    """Best-effort conversion of an input label to something hashable."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(x) for x in value)
+    if isinstance(value, set):
+        return tuple(sorted(_freeze(x) for x in value))
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    return value
+
+
+def gather_view(
+    graph: LocalGraph,
+    center: Node,
+    radius: int,
+    advice: Optional[Mapping[Node, str]] = None,
+) -> View:
+    """Collect the radius-``radius`` view of ``center``.
+
+    This is the information a node holds after ``radius`` rounds of
+    unbounded-message LOCAL communication: the ball, identifiers, inputs and
+    advice within it, and all edges except those joining two nodes on the
+    boundary sphere (those are invisible — neither endpoint's incident-edge
+    list has reached the center in time).
+    """
+    distances: Dict[Node, int] = {}
+    for d, layer in enumerate(graph.bfs_layers(center, radius)):
+        for v in layer:
+            distances[v] = d
+    nodes = frozenset(distances)
+    edges = set()
+    for v in nodes:
+        if distances[v] >= radius:
+            continue
+        for u in graph.graph.neighbors(v):
+            if u in nodes:
+                edges.add((v, u) if graph.id_of(v) < graph.id_of(u) else (u, v))
+    advice = advice or {}
+    return View(
+        center=center,
+        radius=radius,
+        nodes=nodes,
+        edges=frozenset(edges),
+        ids={v: graph.id_of(v) for v in nodes},
+        inputs={v: graph.input_of(v) for v in nodes},
+        advice={v: advice.get(v, "") for v in nodes},
+        distances=distances,
+        graph_n=graph.n,
+        graph_max_degree=graph.max_degree,
+    )

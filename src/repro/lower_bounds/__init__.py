@@ -1,0 +1,29 @@
+"""Section 8: order invariance, brute-force advice search, the ETH link."""
+
+from .brute_force import (
+    SearchOutcome,
+    brute_force_advice_search,
+    parity_cycle_decoder,
+    reduction_cost_model,
+)
+from .order_invariant import (
+    LookupTable,
+    OrderInvarianceViolation,
+    build_lookup_table,
+    canonicalize,
+    is_order_invariant,
+    run_lookup_table,
+)
+
+__all__ = [
+    "LookupTable",
+    "OrderInvarianceViolation",
+    "SearchOutcome",
+    "brute_force_advice_search",
+    "build_lookup_table",
+    "canonicalize",
+    "is_order_invariant",
+    "parity_cycle_decoder",
+    "reduction_cost_model",
+    "run_lookup_table",
+]

@@ -1,0 +1,5 @@
+"""Locally checkable proofs derived from advice schemas (Section 1.2)."""
+
+from .lcp import LocallyCheckableProof, corrupt_advice
+
+__all__ = ["LocallyCheckableProof", "corrupt_advice"]

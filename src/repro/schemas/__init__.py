@@ -1,0 +1,87 @@
+"""Per-problem advice schemas — the paper's contributions."""
+
+from .cubic import (
+    CubicCompressedEdgeSet,
+    CubicTwoBitCompressor,
+    canonical_deleted_edge,
+    peel_order,
+)
+from .decompression import CompressedEdgeSet, DecompressionResult, EdgeSetCompressor
+from .delta_coloring import (
+    ClusterColoringSchema,
+    DeltaColoringSchema,
+    DeltaPlusOneReduction,
+    DeltaRepairSchema,
+)
+from .lcl_subexp import (
+    Cluster,
+    LCLSubexpSchema,
+    OneBitLCLSchema,
+    SubexpClustering,
+    build_clustering,
+    pinned_nodes,
+)
+from .orientation import (
+    Anchor,
+    BalancedOrientationSchema,
+    OneBitOrientationSchema,
+    composable_orientation_schema,
+)
+from .orientation_mp import (
+    OrientationMessagePassing,
+    decide_edge_orientation,
+    run_orientation_protocol,
+)
+from .orientation import (
+    place_anchors_greedy,
+    place_anchors_lll,
+    walk_from_edge,
+)
+from .splitting import (
+    DeltaEdgeColoringSchema,
+    SplittingOracleSchema,
+    splitting_schema,
+)
+from .three_coloring import ThreeColoringSchema
+from .two_coloring import (
+    OneBitTwoColoringSchema,
+    TwoColoringMessagePassing,
+    TwoColoringSchema,
+)
+
+__all__ = [
+    "Anchor",
+    "CubicCompressedEdgeSet",
+    "CubicTwoBitCompressor",
+    "canonical_deleted_edge",
+    "peel_order",
+    "BalancedOrientationSchema",
+    "Cluster",
+    "ClusterColoringSchema",
+    "CompressedEdgeSet",
+    "DecompressionResult",
+    "DeltaColoringSchema",
+    "DeltaEdgeColoringSchema",
+    "DeltaPlusOneReduction",
+    "DeltaRepairSchema",
+    "EdgeSetCompressor",
+    "LCLSubexpSchema",
+    "OneBitLCLSchema",
+    "OneBitOrientationSchema",
+    "OrientationMessagePassing",
+    "OneBitTwoColoringSchema",
+    "SplittingOracleSchema",
+    "SubexpClustering",
+    "ThreeColoringSchema",
+    "TwoColoringMessagePassing",
+    "TwoColoringSchema",
+    "build_clustering",
+    "composable_orientation_schema",
+    "decide_edge_orientation",
+    "run_orientation_protocol",
+    "pinned_nodes",
+    "place_anchors_greedy",
+    "place_anchors_lll",
+    "splitting_schema",
+    "walk_from_edge",
+]

@@ -1,0 +1,217 @@
+"""Open question 4 (Section 1.9): 2 bits per node on 3-regular graphs.
+
+The paper asks: can an arbitrary edge subset of a 3-regular graph be
+stored with only **2 bits per node** and decompressed *locally*?  It notes
+that 1 bit is impossible, 3 bits trivial, and that "if we delete one edge
+from each connected component, an encoding with 2 bits per node follows
+from 2-degeneracy".
+
+This module implements that sketched 2-bit encoding, making the paper's
+partial progress concrete:
+
+* delete a canonical edge per component (the lexicographically smallest
+  identifier pair) — the remainder of a connected cubic component is
+  2-*degenerate* (every subgraph has a vertex of degree <= 2, because a
+  proper subgraph of a connected 3-regular graph always touches its
+  complement);
+* peel vertices of current degree <= 2 in identifier order; each peeled
+  vertex owns (and stores membership bits for) its <= 2 edges into the
+  not-yet-peeled remainder — exactly 2 bits per node;
+* the *deleted* edge's membership bit rides in the spare capacity of the
+  last-peeled vertex of its component (degree 0 at peel time, so both its
+  slots are free).
+
+Everything is reconstructible from the identifiers, so the encoding needs
+**no advice bits at all** — but the peeling order is inherently
+sequential, so decompression takes diameter-many rounds.  That is the open
+part of the question: this encoder certifies the *storage* bound; whether
+the *locality* bound is achievable remains open (we report the honest
+round cost so the gap is visible in benchmarks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from ..advice.schema import AdviceError
+from ..local.graph import LocalGraph, Node
+
+Edge = Tuple[Node, Node]
+
+
+def _edge_key(graph: LocalGraph, u: Node, v: Node) -> Edge:
+    return (u, v) if graph.id_of(u) < graph.id_of(v) else (v, u)
+
+
+def canonical_deleted_edge(graph: LocalGraph, component: Set[Node]) -> Edge:
+    """The deterministic per-component deleted edge: smallest (id, id) pair."""
+    best: Optional[Edge] = None
+    best_key: Optional[Tuple[int, int]] = None
+    for v in component:
+        for u in graph.graph.neighbors(v):
+            a, b = _edge_key(graph, v, u)
+            key = (graph.id_of(a), graph.id_of(b))
+            if best_key is None or key < best_key:
+                best_key = key
+                best = (a, b)
+    if best is None:
+        raise AdviceError("component has no edges")
+    return best
+
+
+def peel_order(graph: LocalGraph, component: Set[Node], skip: Edge) -> List[Tuple[Node, List[Node]]]:
+    """2-degeneracy peeling of a component minus its deleted edge.
+
+    Returns ``[(vertex, owned_neighbors), ...]`` in peel order: each peeled
+    vertex owns its (at most 2) edges towards vertices peeled *later*.
+    Deterministic: among current degree-<=2 vertices, the smallest
+    identifier is peeled first.
+    """
+    live: Set[Node] = set(component)
+    degree: Dict[Node, int] = {}
+    adj: Dict[Node, Set[Node]] = {}
+    skip_set = frozenset(skip)
+    for v in component:
+        neighbors = {
+            u
+            for u in graph.graph.neighbors(v)
+            if u in component and frozenset((v, u)) != skip_set
+        }
+        adj[v] = neighbors
+        degree[v] = len(neighbors)
+
+    order: List[Tuple[Node, List[Node]]] = []
+    while live:
+        candidates = [v for v in live if degree[v] <= 2]
+        if not candidates:
+            raise AdviceError(
+                "component is not 2-degenerate after edge deletion — "
+                "input is not a simple connected cubic component"
+            )
+        v = min(candidates, key=graph.id_of)
+        owned = sorted((u for u in adj[v] if u in live), key=graph.id_of)
+        order.append((v, owned))
+        live.discard(v)
+        for u in owned:
+            degree[u] -= 1
+    return order
+
+
+@dataclass
+class CubicCompressedEdgeSet:
+    """2-bit-per-node storage of an edge subset on a cubic graph.
+
+    ``slots[v]`` is a bit-string of length <= 2 (padded to exactly 2 by
+    :meth:`bits_at` accounting: unused slots cost nothing to correctness
+    but the budget is computed as the fixed 2-bit field the open question
+    talks about).
+    """
+
+    slots: Dict[Node, str]
+
+    def bits_at(self, v: Node) -> int:
+        return len(self.slots.get(v, ""))
+
+    def total_bits(self) -> int:
+        return sum(len(bits) for bits in self.slots.values())
+
+
+class CubicTwoBitCompressor:
+    """The Section 1.9 open-question encoder: 2 bits/node on cubic graphs.
+
+    ``compress``/``decompress`` round-trip arbitrary edge subsets.  No
+    advice bits are used: the deleted edge, the peel order, and the slot
+    assignment are all functions of the identifiers.  ``decompress``
+    reports the honest LOCAL cost — the component diameter — because the
+    sequential peeling is *not* local; closing that gap is exactly what
+    the paper leaves open.
+    """
+
+    def _check_cubic(self, graph: LocalGraph) -> None:
+        bad = [v for v in graph.nodes() if graph.degree(v) != 3]
+        if bad:
+            raise AdviceError(
+                f"{len(bad)} nodes are not degree-3, e.g. {bad[0]!r}"
+            )
+
+    def compress(
+        self, graph: LocalGraph, subset: Iterable[Edge]
+    ) -> CubicCompressedEdgeSet:
+        self._check_cubic(graph)
+        chosen = {_edge_key(graph, u, v) for u, v in subset}
+        for u, v in chosen:
+            if not graph.has_edge(u, v):
+                raise AdviceError(f"subset contains non-edge {{{u!r}, {v!r}}}")
+        slots: Dict[Node, str] = {v: "" for v in graph.nodes()}
+        for component in graph.components():
+            deleted = canonical_deleted_edge(graph, component)
+            order = peel_order(graph, component, deleted)
+            for v, owned in order:
+                slots[v] = "".join(
+                    "1" if _edge_key(graph, v, u) in chosen else "0"
+                    for u in owned
+                )
+            # The deleted edge's bit rides in the last-peeled vertex's
+            # spare slot (it owns no edges: both slots free).
+            last, owned_last = order[-1]
+            if owned_last:
+                raise AdviceError("last peeled vertex unexpectedly owns edges")
+            slots[last] = "1" if deleted in chosen else "0"
+        over = [v for v in graph.nodes() if len(slots[v]) > 2]
+        if over:
+            raise AdviceError(f"slot overflow at {over[0]!r} — peeling bug")
+        return CubicCompressedEdgeSet(slots=slots)
+
+    def decompress(
+        self, graph: LocalGraph, compressed: CubicCompressedEdgeSet
+    ) -> Tuple[Set[Edge], int]:
+        """Recover the subset; returns ``(edges, rounds)``.
+
+        Rounds = the largest component diameter: every node must learn its
+        whole component to replay the peeling (the non-local part of the
+        open question).
+        """
+        self._check_cubic(graph)
+        edges: Set[Edge] = set()
+        rounds = 0
+        for component in graph.components():
+            deleted = canonical_deleted_edge(graph, component)
+            order = peel_order(graph, component, deleted)
+            for v, owned in order:
+                bits = compressed.slots.get(v, "")
+                expected = 1 if v == order[-1][0] else len(owned)
+                if len(bits) != expected:
+                    raise AdviceError(
+                        f"slot of {v!r} has {len(bits)} bits, expected {expected}"
+                    )
+                if v == order[-1][0]:
+                    if bits == "1":
+                        edges.add(deleted)
+                    continue
+                for u, bit in zip(owned, bits):
+                    if bit == "1":
+                        edges.add(_edge_key(graph, v, u))
+            sub = graph.graph.subgraph(component)
+            ecc = max(
+                nx.eccentricity(sub).values()
+            )
+            rounds = max(rounds, ecc)
+        return edges, rounds
+
+    def storage_report(
+        self, graph: LocalGraph, compressed: CubicCompressedEdgeSet
+    ) -> Dict[str, float]:
+        total = compressed.total_bits()
+        return {
+            "total_bits": float(total),
+            "bits_per_node": total / max(1, graph.n),
+            "budget_bits_per_node": 2.0,  # the open question's target
+            "orientation_scheme_bits_per_node": 2.0 + 1.0,  # ceil(3/2)+1
+            "trivial_bits_per_node": 3.0,
+            "within_budget": float(
+                all(compressed.bits_at(v) <= 2 for v in graph.nodes())
+            ),
+        }

@@ -1,0 +1,760 @@
+"""Any LCL with 1 bit of advice on sub-exponential growth (Section 4).
+
+Construction recap (Theorem 4.1)
+--------------------------------
+1.  Compute a distance-``5x`` coloring of ``G`` (few colors, by growth).
+2.  Process color classes ascending.  At phase ``i``, every still-
+    unclustered node ``v`` of color ``i`` that has a node at distance
+    exactly ``2x`` in the remaining graph ``G_i`` becomes a *cluster
+    center*; its cluster swallows everything within ``alpha_v + r`` of it
+    in ``G_i``, where ``alpha_v in {x..2x}`` is the Lemma 4.3 radius whose
+    ball dominates its own boundary sphere (``|N_{<=alpha}| >=
+    Delta^r |N_{=alpha+r}|`` — *this* is where sub-exponential growth is
+    used: borders are tiny relative to ball interiors, so the border's part
+    of the solution fits on interior nodes).
+3.  Nodes never clustered see their whole remaining component within
+    ``2x`` and brute-force it.
+4.  A global solution ``l`` of the LCL is *pinned* on every node within
+    checkability radius ``r_bar`` of a different region (cluster or
+    unclustered component).  Region interiors are completed by exhaustive
+    search consistent with the pinned strips.  Pinning makes regions
+    independent: an interior node's ``r_bar``-ball never leaves its own
+    region plus its pinned strip, and strip-vs-strip constraints are
+    satisfied because the strips literally carry ``l``.
+
+Two schemas realize this:
+
+* :class:`LCLSubexpSchema` — variable-length: centers hold their phase
+  color, pinned nodes hold their ``l``-label index.  Bit-holders are the
+  (sparse, by growth) strips and centers.
+* :class:`OneBitLCLSchema` — the paper's uniform 1-bit encoding: each
+  center's color rides a marker-coded path (``11110110 (110|1110)* 0``)
+  inside ``N_{<=y}(v)``, ``y = x/2``; the pinned strip's labels ride an
+  *independent set* of interior nodes.  Path bits always come in runs of
+  >= 2 adjacent ones, strip bits are isolated ones — exactly the paper's
+  disambiguation rule — and all sphere conditions are evaluated inside the
+  phase graph ``G_i``, which is what keeps different clusters' codes from
+  interfering.
+
+The paper's ``x`` is astronomical; ours is a parameter, and the encoder
+*verifies* every geometric property the decoder relies on (raising
+:class:`AdviceError` when ``x`` is too small for the instance) — so a
+successful encode certifies decodability.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from ..advice.bitstream import (
+    bits_to_int,
+    decode_stream,
+    encode_payload,
+    int_to_bits,
+    pack_parts,
+    try_decode_stream,
+    unpack_parts,
+)
+from ..advice.schema import (
+    AdviceError,
+    AdviceMap,
+    AdviceSchema,
+    DecodeResult,
+    InvalidAdvice,
+)
+from ..algorithms.bfs import bfs_distances
+from ..algorithms.ruling_set import distance_coloring
+from ..lcl.problem import Label, Labeling, LCLProblem
+from ..lcl.solve import solve_exact
+from ..lcl.verify import is_valid
+from ..local.algorithm import LocalityTracker
+from ..local.graph import LocalGraph, Node
+
+
+# ---------------------------------------------------------------------------
+# Shared geometry: the phase clustering
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Cluster:
+    center: Node
+    color: int
+    alpha: int
+    members: Set[Node] = field(default_factory=set)
+
+
+@dataclass
+class SubexpClustering:
+    """The Section 4 clustering: clusters per phase + unclustered regions."""
+
+    clusters: List[Cluster]
+    unclustered: List[Set[Node]]
+    num_phase_colors: int
+
+    def regions(self) -> List[Set[Node]]:
+        return [c.members for c in self.clusters] + [
+            set(r) for r in self.unclustered
+        ]
+
+    def region_of(self) -> Dict[Node, int]:
+        owner: Dict[Node, int] = {}
+        for index, region in enumerate(self.regions()):
+            for v in region:
+                owner[v] = index
+        return owner
+
+
+def _lemma43_alpha(
+    component_dist: Mapping[Node, int], x: int, r: int, delta: int
+) -> int:
+    """Lemma 4.3 search over ``alpha in {x..2x}`` using precomputed
+    distances from the center inside ``G_i``."""
+    sizes: Dict[int, int] = {}
+    for d in component_dist.values():
+        sizes[d] = sizes.get(d, 0) + 1
+
+    def ball(radius: int) -> int:
+        return sum(c for d, c in sizes.items() if d <= radius)
+
+    threshold = float(max(1, delta) ** r)
+    best_alpha, best_ratio = x, -1.0
+    for alpha in range(x, 2 * x + 1):
+        sphere = sizes.get(alpha + r, 0)
+        if sphere == 0:
+            return alpha
+        ratio = ball(alpha) / sphere
+        if ratio >= threshold:
+            return alpha
+        if ratio > best_ratio:
+            best_alpha, best_ratio = alpha, ratio
+    return best_alpha
+
+
+def build_clustering(
+    graph: LocalGraph,
+    x: int,
+    r: int,
+    phase_colors: Optional[Mapping[Node, int]] = None,
+) -> SubexpClustering:
+    """Compute the Section 4 clustering deterministically.
+
+    ``phase_colors`` is the distance-``5x`` coloring; when omitted it is
+    recomputed (the greedy coloring is a function of the identifiers, so
+    encoder and any caller agree).
+    """
+    if x < 4 * r:
+        raise AdviceError(
+            f"x={x} too small: Lemma 4.3 needs x >= 4r (r={r}); same-phase "
+            "cluster disjointness needs x > 2r"
+        )
+    if phase_colors is None:
+        phase_colors = distance_coloring(graph, 5 * x)
+    max_color = max(phase_colors.values(), default=0)
+    delta = graph.max_degree
+
+    remaining: Set[Node] = set(graph.nodes())
+    clusters: List[Cluster] = []
+    for color in range(1, max_color + 1):
+        sub = graph.graph.subgraph(remaining)
+        phase_centers = sorted(
+            (
+                v
+                for v in remaining
+                if phase_colors[v] == color
+            ),
+            key=graph.id_of,
+        )
+        new_members: Set[Node] = set()
+        for v in phase_centers:
+            dist = bfs_distances(sub, v, cutoff=2 * x + r + 1)
+            if not any(d == 2 * x for d in dist.values()):
+                continue  # not eligible: would join the unclustered leftovers
+            alpha = _lemma43_alpha(dist, x, r, delta)
+            members = {u for u, d in dist.items() if d <= alpha + r}
+            if members & new_members:
+                raise AdviceError(
+                    "same-phase clusters overlap — distance coloring too "
+                    "weak for these parameters"
+                )
+            clusters.append(
+                Cluster(center=v, color=color, alpha=alpha, members=members)
+            )
+            new_members |= members
+        remaining -= new_members
+
+    leftovers = graph.graph.subgraph(remaining)
+    unclustered = [set(c) for c in nx.connected_components(leftovers)]
+    return SubexpClustering(
+        clusters=clusters,
+        unclustered=unclustered,
+        num_phase_colors=max_color,
+    )
+
+
+def pinned_nodes(graph: LocalGraph, clustering: SubexpClustering, r_bar: int) -> Set[Node]:
+    """Nodes within ``r_bar`` (in G) of a node of a *different* region."""
+    owner = clustering.region_of()
+    pinned: Set[Node] = set()
+    for v in graph.nodes():
+        for u in graph.ball(v, r_bar):
+            if owner.get(u) != owner.get(v):
+                pinned.add(v)
+                break
+    return pinned
+
+
+# ---------------------------------------------------------------------------
+# Label indexing (advice stores label indices, not labels)
+# ---------------------------------------------------------------------------
+
+
+def _label_width(problem: LCLProblem, graph: LocalGraph, v: Node) -> int:
+    count = len(problem.candidate_labels(graph, v))
+    return max(1, (max(count - 1, 1)).bit_length())
+
+
+def _label_to_bits(
+    problem: LCLProblem, graph: LocalGraph, v: Node, label: Label
+) -> str:
+    candidates = problem.candidate_labels(graph, v)
+    try:
+        index = candidates.index(label)
+    except ValueError:
+        raise AdviceError(f"label {label!r} of {v!r} not in candidate set")
+    return int_to_bits(index, _label_width(problem, graph, v))
+
+
+def _bits_to_label(
+    problem: LCLProblem, graph: LocalGraph, v: Node, bits: str
+) -> Label:
+    candidates = problem.candidate_labels(graph, v)
+    index = bits_to_int(bits)
+    if index >= len(candidates):
+        raise InvalidAdvice(f"label index {index} out of range at {v!r}")
+    return candidates[index]
+
+
+def _complete_regions(
+    problem: LCLProblem,
+    graph: LocalGraph,
+    clustering: SubexpClustering,
+    fixed: Dict[Node, Label],
+    max_steps: int,
+) -> Dict[Node, Label]:
+    """Solve every region interior consistently with the pinned labels."""
+    labeling: Dict[Node, Label] = dict(fixed)
+    for region in clustering.regions():
+        interior = [v for v in region if v not in fixed]
+        if not interior:
+            continue
+        solved = solve_exact(
+            problem,
+            graph,
+            fixed=labeling,
+            restrict_to=interior,
+            max_steps=max_steps,
+        )
+        if solved is None:
+            raise InvalidAdvice(
+                "region completion failed — advice inconsistent with problem"
+            )
+        labeling.update({v: solved[v] for v in interior})
+    return labeling
+
+
+# ---------------------------------------------------------------------------
+# Variable-length schema
+# ---------------------------------------------------------------------------
+
+
+class LCLSubexpSchema(AdviceSchema):
+    """Variable-length Section 4 schema: centers hold their phase color,
+    pinned strip nodes hold their solution label index."""
+
+    def __init__(
+        self,
+        problem: LCLProblem,
+        x: int = 6,
+        r: Optional[int] = None,
+        solution: Optional[Mapping[Node, Label]] = None,
+        max_solver_steps: int = 2_000_000,
+    ) -> None:
+        self.name = f"lcl-subexp[{problem.name}]"
+        self.problem = problem
+        self.x = x
+        self.r = r if r is not None else problem.radius
+        if self.r < problem.radius:
+            raise AdviceError("r must be >= the problem's checkability radius")
+        self._solution = dict(solution) if solution is not None else None
+        self.max_solver_steps = max_solver_steps
+
+    def _global_solution(self, graph: LocalGraph) -> Dict[Node, Label]:
+        if self._solution is not None:
+            return dict(self._solution)
+        solved = solve_exact(
+            self.problem, graph, max_steps=self.max_solver_steps
+        )
+        if solved is None:
+            raise AdviceError(f"{self.problem.name} has no solution on this graph")
+        return solved
+
+    def encode(self, graph: LocalGraph) -> AdviceMap:
+        solution = self._global_solution(graph)
+        if not is_valid(self.problem, graph, solution):
+            raise AdviceError("supplied solution is invalid")
+        clustering = build_clustering(graph, self.x, self.r)
+        strip = pinned_nodes(graph, clustering, self.problem.radius)
+        advice: AdviceMap = {v: "" for v in graph.nodes()}
+        centers = {c.center: c.color for c in clustering.clusters}
+        for v in graph.nodes():
+            color_part = int_to_bits(centers[v]) if v in centers else ""
+            label_part = (
+                _label_to_bits(self.problem, graph, v, solution[v])
+                if v in strip
+                else ""
+            )
+            if color_part or label_part:
+                advice[v] = pack_parts([color_part, label_part])
+        return advice
+
+    def decode(self, graph: LocalGraph, advice: Mapping[Node, str]) -> DecodeResult:
+        tracker = LocalityTracker(graph)
+        centers: Dict[Node, int] = {}
+        labels: Dict[Node, Label] = {}
+        for v in graph.nodes():
+            packed = advice.get(v, "")
+            if not packed:
+                continue
+            color_part, label_part = unpack_parts(packed, 2)
+            if color_part:
+                centers[v] = bits_to_int(color_part)
+            if label_part:
+                labels[v] = _bits_to_label(self.problem, graph, v, label_part)
+        clustering = self._rebuild_clustering(graph, centers)
+        labeling = _complete_regions(
+            self.problem, graph, clustering, labels, self.max_solver_steps
+        )
+        # Locality: phases * (cluster radius + solving broadcast).
+        phases = max((c.color for c in clustering.clusters), default=1)
+        tracker.charge(phases * (2 * self.x + self.r + 2) + 2 * (2 * self.x))
+        return DecodeResult(labeling=labeling, rounds=tracker.rounds)
+
+    def _rebuild_clustering(
+        self, graph: LocalGraph, centers: Mapping[Node, int]
+    ) -> SubexpClustering:
+        """Reconstruct the clustering from advised centers/colors only.
+
+        Mirrors :func:`build_clustering` but takes eligibility from the
+        advice (a center is whoever says so), which is exactly what the
+        encoder computed.
+        """
+        delta = graph.max_degree
+        remaining: Set[Node] = set(graph.nodes())
+        clusters: List[Cluster] = []
+        max_color = max(centers.values(), default=0)
+        for color in range(1, max_color + 1):
+            sub = graph.graph.subgraph(remaining)
+            phase_centers = sorted(
+                (v for v, c in centers.items() if c == color and v in remaining),
+                key=graph.id_of,
+            )
+            new_members: Set[Node] = set()
+            for v in phase_centers:
+                dist = bfs_distances(sub, v, cutoff=2 * self.x + self.r + 1)
+                alpha = _lemma43_alpha(dist, self.x, self.r, delta)
+                members = {u for u, d in dist.items() if d <= alpha + self.r}
+                clusters.append(
+                    Cluster(center=v, color=color, alpha=alpha, members=members)
+                )
+                new_members |= members
+            remaining -= new_members
+        leftovers = graph.graph.subgraph(remaining)
+        return SubexpClustering(
+            clusters=clusters,
+            unclustered=[set(c) for c in nx.connected_components(leftovers)],
+            num_phase_colors=max_color,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Uniform 1-bit schema (Theorem 4.1 proper)
+# ---------------------------------------------------------------------------
+
+
+class OneBitLCLSchema(AdviceSchema):
+    """The paper's single-bit encoding for LCLs on sub-exponential growth.
+
+    * Cluster colors ride marker-coded paths inside ``N_{<= y}(center)``
+      (``y = x // 2``), read off the BFS spheres of the center *within the
+      phase graph* ``G_i``; all path one-bits sit in runs of >= 2.
+    * Pinned-strip labels ride an independent set ``Z'`` of interior
+      cluster nodes (isolated one-bits), read back in identifier order.
+    * Unclustered regions carry no bits and brute-force their components.
+
+    The encoder verifies run/isolation discipline, sphere uniqueness, and
+    decodes its own output before returning.
+    """
+
+    def __init__(
+        self,
+        problem: LCLProblem,
+        x: int = 24,
+        r: Optional[int] = None,
+        solution: Optional[Mapping[Node, Label]] = None,
+        max_solver_steps: int = 5_000_000,
+    ) -> None:
+        self.name = f"one-bit-lcl[{problem.name}]"
+        self.problem = problem
+        self.x = x
+        self.y = x // 2
+        self.r = r if r is not None else problem.radius
+        self._solution = dict(solution) if solution is not None else None
+        self.max_solver_steps = max_solver_steps
+
+    # -- shared helpers -------------------------------------------------------
+
+    def _global_solution(self, graph: LocalGraph) -> Dict[Node, Label]:
+        if self._solution is not None:
+            return dict(self._solution)
+        solved = solve_exact(self.problem, graph, max_steps=self.max_solver_steps)
+        if solved is None:
+            raise AdviceError(f"{self.problem.name} has no solution on this graph")
+        return solved
+
+    @staticmethod
+    def _run_ones(graph: LocalGraph, bits: Mapping[Node, str]) -> Set[Node]:
+        """One-bit nodes with an adjacent one-bit node (path bits)."""
+        return {
+            v
+            for v in graph.nodes()
+            if bits.get(v) == "1"
+            and any(bits.get(u) == "1" for u in graph.graph.neighbors(v))
+        }
+
+    def _strip_bits_for_cluster(
+        self,
+        graph: LocalGraph,
+        cluster: Cluster,
+        phase_dist: Mapping[Node, int],
+        bits: Mapping[Node, str],
+    ) -> Tuple[List[Node], Set[Node]]:
+        """The ordered carrier set ``Z'`` for a cluster.
+
+        ``Z`` = nodes within ``alpha`` of the center (phase-graph distance)
+        that neither carry a run-one-bit nor neighbor one; ``Z'`` = greedy
+        independent set of ``Z`` in identifier order (independence in G).
+        """
+        run_ones = self._run_ones(graph, bits)
+        inner = {v for v, d in phase_dist.items() if d <= cluster.alpha}
+        blocked: Set[Node] = set()
+        for v in inner:
+            if v in run_ones:
+                blocked.add(v)
+                blocked.update(graph.graph.neighbors(v))
+        z = sorted((v for v in inner if v not in blocked), key=graph.id_of)
+        z_prime: List[Node] = []
+        taken: Set[Node] = set()
+        for v in z:
+            if v in taken:
+                continue
+            z_prime.append(v)
+            taken.add(v)
+            taken.update(graph.graph.neighbors(v))
+        return z_prime, inner
+
+    def _strip_of(
+        self, graph: LocalGraph, cluster_members: Set[Node], region_owner: Mapping[Node, int], index: int
+    ) -> List[Node]:
+        r_bar = self.problem.radius
+        strip = []
+        for v in sorted(cluster_members, key=graph.id_of):
+            if any(
+                region_owner.get(u) != index for u in graph.ball(v, r_bar)
+            ):
+                strip.append(v)
+        return strip
+
+    # -- encoding ------------------------------------------------------------
+
+    def encode(self, graph: LocalGraph) -> AdviceMap:
+        solution = self._global_solution(graph)
+        if not is_valid(self.problem, graph, solution):
+            raise AdviceError("supplied solution is invalid")
+        clustering = build_clustering(graph, self.x, self.r)
+        bits: AdviceMap = {v: "0" for v in graph.nodes()}
+
+        # Phase-graph distances per cluster (recomputed the same way during
+        # decoding).
+        phase_dists = self._phase_distances(graph, clustering)
+
+        # 1. marker-coded cluster colors on paths.
+        for cluster in clustering.clusters:
+            code = encode_payload(int_to_bits(cluster.color))
+            if len(code) > self.y:
+                raise AdviceError(
+                    f"x={self.x} too small: color code needs {len(code)} "
+                    f"nodes but y={self.y}"
+                )
+            path = self._sphere_path(
+                graph, cluster, phase_dists[cluster.center], len(code)
+            )
+            for node, bit in zip(path, code):
+                if bit == "1":
+                    bits[node] = "1"
+
+        # 2. pinned-strip labels on independent interior sets.
+        regions = clustering.regions()
+        owner = clustering.region_of()
+        for index, cluster in enumerate(clustering.clusters):
+            strip = self._strip_of(graph, cluster.members, owner, index)
+            payload = "".join(
+                _label_to_bits(self.problem, graph, w, solution[w])
+                for w in strip
+            )
+            carriers, _ = self._strip_bits_for_cluster(
+                graph, cluster, phase_dists[cluster.center], bits
+            )
+            if len(carriers) < len(payload):
+                raise AdviceError(
+                    f"cluster at {cluster.center!r}: {len(carriers)} carrier "
+                    f"nodes for {len(payload)} payload bits — increase x "
+                    "(Lemma 4.3 needs more growth headroom)"
+                )
+            for node, bit in zip(carriers, payload):
+                if bit == "1":
+                    bits[node] = "1"
+
+        self._verify(graph, clustering, phase_dists, bits, solution)
+        return bits
+
+    def _phase_distances(
+        self, graph: LocalGraph, clustering: SubexpClustering
+    ) -> Dict[Node, Dict[Node, int]]:
+        """Distances from each center within its phase graph ``G_i``."""
+        out: Dict[Node, Dict[Node, int]] = {}
+        remaining: Set[Node] = set(graph.nodes())
+        max_color = clustering.num_phase_colors
+        by_color: Dict[int, List[Cluster]] = {}
+        for c in clustering.clusters:
+            by_color.setdefault(c.color, []).append(c)
+        for color in range(1, max_color + 1):
+            sub = graph.graph.subgraph(remaining)
+            for cluster in by_color.get(color, []):
+                out[cluster.center] = bfs_distances(
+                    sub, cluster.center, cutoff=2 * self.x + self.r + 1
+                )
+            for cluster in by_color.get(color, []):
+                remaining -= cluster.members
+        return out
+
+    def _sphere_path(
+        self,
+        graph: LocalGraph,
+        cluster: Cluster,
+        dist: Mapping[Node, int],
+        length: int,
+    ) -> List[Node]:
+        """A path ``v_1..v_length`` with ``v_j`` at phase-distance ``j-1``
+        from the center, inside ``N_{<= y}``."""
+        target_d = length - 1
+        candidates = [w for w, d in dist.items() if d == target_d]
+        if not candidates:
+            raise AdviceError(
+                f"cluster at {cluster.center!r} has no node at phase-"
+                f"distance {target_d}"
+            )
+        # Walk back from the closest-ID candidate along decreasing distance.
+        end = min(candidates, key=graph.id_of)
+        path = [end]
+        while dist[path[-1]] > 0:
+            v = path[-1]
+            prev = min(
+                (
+                    u
+                    for u in graph.graph.neighbors(v)
+                    if dist.get(u) == dist[v] - 1
+                ),
+                key=graph.id_of,
+            )
+            path.append(prev)
+        return list(reversed(path))
+
+    # -- verification ----------------------------------------------------------
+
+    def _verify(
+        self,
+        graph: LocalGraph,
+        clustering: SubexpClustering,
+        phase_dists: Dict[Node, Dict[Node, int]],
+        bits: Mapping[Node, str],
+        solution: Mapping[Node, Label],
+    ) -> None:
+        decoded_centers = self._detect_centers(graph, bits)
+        expected = {(c.center, c.color) for c in clustering.clusters}
+        if set(decoded_centers.items()) != expected:
+            raise AdviceError(
+                "center detection mismatch: "
+                f"decoded {sorted(decoded_centers.items())!r} vs "
+                f"expected {sorted(expected)!r}; increase x"
+            )
+        result = self._decode_bits(graph, bits)
+        if not is_valid(self.problem, graph, result):
+            raise AdviceError("self-check decode produced an invalid solution")
+
+    # -- decoding ------------------------------------------------------------
+
+    def _detect_centers(
+        self, graph: LocalGraph, bits: Mapping[Node, str]
+    ) -> Dict[Node, int]:
+        """Phase-by-phase center detection from the raw bits (paper's S')."""
+        run_ones = self._run_ones(graph, bits)
+        centers: Dict[Node, int] = {}
+        remaining: Set[Node] = set(graph.nodes())
+        color = 0
+        while True:
+            color += 1
+            sub = graph.graph.subgraph(remaining)
+            found: List[Tuple[Node, Dict[Node, int]]] = []
+            for v in sorted(remaining, key=graph.id_of):
+                if v not in run_ones:
+                    continue
+                dist = bfs_distances(sub, v, cutoff=2 * self.x + self.r + 1)
+                if not any(d == 2 * self.x for d in dist.values()):
+                    continue
+                parsed = self._parse_center(graph, dist, run_ones)
+                if parsed == color:
+                    found.append((v, dist))
+            if not found:
+                # No centers of this color; stop once no run-ones remain
+                # in any eligible position (all further phases empty).
+                if not self._any_candidate_left(graph, remaining, run_ones):
+                    break
+                if color > graph.n + 1:
+                    raise InvalidAdvice("runaway phase loop — corrupt advice")
+                continue
+            delta = graph.max_degree
+            for v, dist in found:
+                alpha = _lemma43_alpha(dist, self.x, self.r, delta)
+                members = {u for u, d in dist.items() if d <= alpha + self.r}
+                centers[v] = color
+                remaining -= members
+        return centers
+
+    def _any_candidate_left(
+        self, graph: LocalGraph, remaining: Set[Node], run_ones: Set[Node]
+    ) -> bool:
+        sub = graph.graph.subgraph(remaining)
+        for v in remaining:
+            if v not in run_ones:
+                continue
+            dist = bfs_distances(sub, v, cutoff=2 * self.x)
+            if any(d == 2 * self.x for d in dist.values()):
+                return True
+        return False
+
+    def _parse_center(
+        self,
+        graph: LocalGraph,
+        dist: Mapping[Node, int],
+        run_ones: Set[Node],
+    ) -> Optional[int]:
+        """Parse a color code off the phase-graph spheres of a candidate.
+
+        Requires: at most one run-one per sphere up to ``x``; spheres
+        ``y+1..x`` free of run-ones; the stream parses as a marker code with
+        all-zero tail.
+        """
+        spheres: Dict[int, List[Node]] = {}
+        for w, d in dist.items():
+            if d <= self.x and w in run_ones:
+                spheres.setdefault(d, []).append(w)
+        stream = []
+        for j in range(self.x + 1):
+            ones = spheres.get(j, [])
+            if len(ones) > 1:
+                return None
+            if j > self.y and ones:
+                return None
+            stream.append("1" if ones else "0")
+        parsed = try_decode_stream("".join(stream))
+        if parsed is None:
+            return None
+        payload, consumed = parsed
+        if any(b == "1" for b in "".join(stream)[consumed:]):
+            return None
+        if not payload:
+            return None
+        return bits_to_int(payload)
+
+    def _decode_bits(
+        self, graph: LocalGraph, bits: Mapping[Node, str]
+    ) -> Dict[Node, Label]:
+        centers = self._detect_centers(graph, bits)
+        delta = graph.max_degree
+        # Rebuild clustering from detected centers (same as encoder's).
+        remaining: Set[Node] = set(graph.nodes())
+        clusters: List[Cluster] = []
+        max_color = max(centers.values(), default=0)
+        phase_dists: Dict[Node, Dict[Node, int]] = {}
+        for color in range(1, max_color + 1):
+            sub = graph.graph.subgraph(remaining)
+            for v in sorted(
+                (w for w, c in centers.items() if c == color), key=graph.id_of
+            ):
+                dist = bfs_distances(sub, v, cutoff=2 * self.x + self.r + 1)
+                alpha = _lemma43_alpha(dist, self.x, self.r, delta)
+                members = {u for u, d in dist.items() if d <= alpha + self.r}
+                clusters.append(
+                    Cluster(center=v, color=color, alpha=alpha, members=members)
+                )
+                phase_dists[v] = dist
+            for cluster in clusters:
+                if cluster.color == color:
+                    remaining -= cluster.members
+        leftovers = graph.graph.subgraph(remaining)
+        clustering = SubexpClustering(
+            clusters=clusters,
+            unclustered=[set(c) for c in nx.connected_components(leftovers)],
+            num_phase_colors=max_color,
+        )
+
+        # Read strips back off the carrier sets.
+        owner = clustering.region_of()
+        fixed: Dict[Node, Label] = {}
+        for index, cluster in enumerate(clustering.clusters):
+            strip = self._strip_of(graph, cluster.members, owner, index)
+            carriers, _ = self._strip_bits_for_cluster(
+                graph, cluster, phase_dists[cluster.center], bits
+            )
+            widths = [_label_width(self.problem, graph, w) for w in strip]
+            needed = sum(widths)
+            if len(carriers) < needed:
+                raise InvalidAdvice("carrier set shorter than payload")
+            stream = "".join(
+                "1" if bits.get(c) == "1" else "0" for c in carriers[:needed]
+            )
+            offset = 0
+            for w, width in zip(strip, widths):
+                fixed[w] = _bits_to_label(
+                    self.problem, graph, w, stream[offset : offset + width]
+                )
+                offset += width
+        return _complete_regions(
+            self.problem, graph, clustering, fixed, self.max_solver_steps
+        )
+
+    def decode(self, graph: LocalGraph, advice: Mapping[Node, str]) -> DecodeResult:
+        tracker = LocalityTracker(graph)
+        for v in graph.nodes():
+            if advice.get(v) not in ("0", "1"):
+                raise InvalidAdvice(f"node {v!r} lacks its single advice bit")
+        labeling = self._decode_bits(graph, advice)
+        # Locality: the paper's 2^{O(x)} = O(1) bound; we report the
+        # per-phase cost times a degree-scale phase count.
+        tracker.charge((graph.max_degree + 2) * (2 * self.x + self.r + 2))
+        return DecodeResult(labeling=labeling, rounds=tracker.rounds)

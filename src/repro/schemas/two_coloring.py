@@ -1,0 +1,209 @@
+"""Sparse advice for 2-coloring bipartite graphs (the paper's ``Pi_v``).
+
+Section 3.5 uses 2-coloring as the running example of a problem with a
+trivially *composable* schema: "we assign 1 bit to a sparse set of nodes
+(encoding their color), and to all other nodes we do not assign any bit.
+The nodes that have no bit assigned can still recover a 2-coloring by
+simple propagation."
+
+The anchors form a ``(spacing, spacing - 1)``-ruling set of each connected
+component; a node recovers its color from the parity of its distance to the
+nearest anchor (well-defined exactly because the graph is bipartite).
+Without advice, 2-coloring is a *global* problem — ``Omega(n)`` rounds on a
+path — which is what makes even this baby schema interesting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+import networkx as nx
+
+from ..advice.onebit import decode_at, encode_paths
+from ..advice.schema import (
+    AdviceError,
+    AdviceMap,
+    AdviceSchema,
+    DecodeResult,
+    InvalidAdvice,
+)
+from ..algorithms.ruling_set import greedy_ruling_set
+from ..local.model import MessagePassingAlgorithm
+from ..lcl.catalog import vertex_coloring
+from ..local.algorithm import LocalityTracker
+from ..local.graph import LocalGraph, Node
+
+
+def _bipartition(graph: LocalGraph) -> Dict[Node, int]:
+    """A proper 2-coloring (colors 1/2) or :class:`AdviceError` if odd cycles."""
+    coloring: Dict[Node, int] = {}
+    for component in graph.components():
+        start = min(component, key=graph.id_of)
+        coloring[start] = 1
+        frontier = [start]
+        while frontier:
+            nxt = []
+            for v in frontier:
+                for u in graph.graph.neighbors(v):
+                    if u in coloring:
+                        if coloring[u] == coloring[v]:
+                            raise AdviceError("graph is not bipartite")
+                        continue
+                    coloring[u] = 3 - coloring[v]
+                    nxt.append(u)
+            frontier = nxt
+    return coloring
+
+
+class TwoColoringSchema(AdviceSchema):
+    """Variable-length sparse schema for bipartite 2-coloring.
+
+    Anchors (one per ``spacing``-ruling-set node) hold a single bit: their
+    own color.  ``beta = 1``; bit-holders are arbitrarily sparse as
+    ``spacing`` grows; decoding takes ``spacing - 1`` rounds — the
+    composability trade-off of Definition 3.4 in its purest form.
+    """
+
+    def __init__(self, spacing: int = 8) -> None:
+        if spacing < 2:
+            raise AdviceError("spacing must be >= 2")
+        self.name = "two-coloring"
+        self.problem = vertex_coloring(2)
+        self.spacing = spacing
+
+    def encode(self, graph: LocalGraph) -> AdviceMap:
+        coloring = _bipartition(graph)
+        advice: AdviceMap = {v: "" for v in graph.nodes()}
+        for component in graph.components():
+            anchors = greedy_ruling_set(graph, self.spacing, candidates=component)
+            for anchor in anchors:
+                advice[anchor] = "1" if coloring[anchor] == 1 else "0"
+        return advice
+
+    def decode(self, graph: LocalGraph, advice: Mapping[Node, str]) -> DecodeResult:
+        tracker = LocalityTracker(graph)
+        labeling: Dict[Node, int] = {}
+        radius = self.spacing - 1
+        for v in graph.nodes():
+            anchor, distance = self._nearest_anchor(tracker, advice, v, radius)
+            color = 1 if advice[anchor] == "1" else 2
+            labeling[v] = color if distance % 2 == 0 else 3 - color
+        return DecodeResult(labeling=labeling, rounds=tracker.rounds)
+
+    @staticmethod
+    def _nearest_anchor(
+        tracker: LocalityTracker,
+        advice: Mapping[Node, str],
+        v: Node,
+        radius: int,
+    ):
+        tracker.charge(radius)
+        graph = tracker.graph
+        for distance in range(radius + 1):
+            holders = [u for u in graph.sphere(v, distance) if advice.get(u, "")]
+            if holders:
+                return min(holders, key=graph.id_of), distance
+        raise InvalidAdvice(f"node {v!r}: no anchor within {radius} hops")
+
+
+class OneBitTwoColoringSchema(AdviceSchema):
+    """Uniform 1-bit variant of :class:`TwoColoringSchema` (via Lemma 9.2).
+
+    Each anchor's color bit becomes a marker-code payload; all other nodes
+    carry ``0``.  The anchors need spacing ``> 2 * window + 2``
+    (``window = 13`` for a 1-bit payload), so the effective spacing is
+    ``max(spacing, 2 * window + 3)``.
+    """
+
+    #: marker-code window for a 1-bit payload: header 8 + word 4 + term 1.
+    WINDOW = 13
+
+    def __init__(self, spacing: int = 29) -> None:
+        self.name = "one-bit-two-coloring"
+        self.problem = vertex_coloring(2)
+        self.spacing = max(spacing, 2 * self.WINDOW + 3)
+
+    def encode(self, graph: LocalGraph) -> AdviceMap:
+        coloring = _bipartition(graph)
+        payloads: Dict[Node, str] = {}
+        for component in graph.components():
+            anchors = greedy_ruling_set(graph, self.spacing, candidates=component)
+            for anchor in anchors:
+                payloads[anchor] = "1" if coloring[anchor] == 1 else "0"
+        layout = encode_paths(graph, payloads, window=self.WINDOW)
+        return dict(layout.bits)
+
+    def decode(self, graph: LocalGraph, advice: Mapping[Node, str]) -> DecodeResult:
+        tracker = LocalityTracker(graph)
+        labeling: Dict[Node, int] = {}
+        radius = self.spacing - 1
+        tracker.charge(radius + self.WINDOW)
+        graph_ = tracker.graph
+        for v in graph_.nodes():
+            found = None
+            for distance in range(radius + 1):
+                starts = []
+                for u in graph_.sphere(v, distance):
+                    payload = decode_at(graph_, u, self.WINDOW, advice)
+                    if payload is not None and len(payload) == 1:
+                        starts.append((u, payload))
+                if starts:
+                    anchor, payload = min(starts, key=lambda t: graph_.id_of(t[0]))
+                    found = (payload, distance)
+                    break
+            if found is None:
+                raise InvalidAdvice(f"node {v!r}: no anchor payload in range")
+            payload, distance = found
+            color = 1 if payload == "1" else 2
+            labeling[v] = color if distance % 2 == 0 else 3 - color
+        return DecodeResult(labeling=labeling, rounds=tracker.rounds)
+
+
+class TwoColoringMessagePassing(MessagePassingAlgorithm):
+    """The 2-coloring decoder as an explicit message-passing algorithm.
+
+    Anchors (nodes whose advice is non-empty) start a wave carrying
+    ``(anchor id, anchor color, distance)``; every node adopts the first
+    wave it hears (ties broken by smaller anchor identifier), fixes its
+    color by distance parity, and keeps forwarding for the full ``spacing``
+    rounds so later ties resolve identically everywhere.  This is the same
+    algorithm :meth:`TwoColoringSchema.decode` simulates through view
+    semantics; the test suite checks the two agree output-for-output.
+    """
+
+    def __init__(self, spacing: int) -> None:
+        super().__init__()
+        self.spacing = spacing
+        self.best = None  # (anchor id, color, distance)
+
+    def init(self, ctx) -> None:
+        super().init(ctx)
+        if ctx.advice:
+            color = 1 if ctx.advice == "1" else 2
+            self.best = (ctx.node_id, color, 0)
+        if self.spacing <= 1:
+            self._finish()
+
+    def send(self, round_index):
+        if self.best is None:
+            return {}
+        return {port: self.best for port in range(self.ctx.degree)}
+
+    def receive(self, round_index, messages):
+        for anchor_id, color, distance in messages.values():
+            candidate = (anchor_id, color, distance + 1)
+            if self.best is None or (
+                candidate[2],
+                candidate[0],
+            ) < (self.best[2], self.best[0]):
+                self.best = candidate
+        if round_index + 1 >= self.spacing - 1:
+            self._finish()
+
+    def _finish(self) -> None:
+        if self.best is None:
+            raise InvalidAdvice(
+                f"node {self.ctx.node!r}: no anchor wave arrived"
+            )
+        anchor_id, color, distance = self.best
+        self.output = color if distance % 2 == 0 else 3 - color

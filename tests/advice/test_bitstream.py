@@ -1,0 +1,127 @@
+"""Tests for the Section 4 marker code and self-delimiting packing."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.advice import (
+    HEADER,
+    CodecError,
+    bits_to_int,
+    decode_stream,
+    encode_payload,
+    encoded_length,
+    int_to_bits,
+    max_payload_bits,
+    pack_parts,
+    try_decode_stream,
+    unpack_parts,
+)
+
+bitstrings = st.text(alphabet="01", min_size=0, max_size=24)
+
+
+class TestMarkerCode:
+    def test_empty_payload(self):
+        stream = encode_payload("")
+        assert stream == HEADER + "0"
+        assert decode_stream(stream) == ("", len(stream))
+
+    def test_known_encoding(self):
+        assert encode_payload("0") == HEADER + "110" + "0"
+        assert encode_payload("1") == HEADER + "1110" + "0"
+
+    @settings(max_examples=100, deadline=None)
+    @given(bitstrings)
+    def test_roundtrip(self, payload):
+        stream = encode_payload(payload)
+        decoded, consumed = decode_stream(stream)
+        assert decoded == payload
+        assert consumed == len(stream)
+
+    @settings(max_examples=50, deadline=None)
+    @given(bitstrings, st.text(alphabet="0", min_size=0, max_size=10))
+    def test_trailing_zeros_ignored(self, payload, zeros):
+        stream = encode_payload(payload) + zeros
+        decoded, consumed = decode_stream(stream)
+        assert decoded == payload
+        assert consumed == len(stream) - len(zeros)
+
+    def test_header_has_unique_quad_run(self):
+        # Four consecutive ones never occur after the header, for any payload.
+        for payload in ("", "0", "1", "0101", "1111", "0000"):
+            body = encode_payload(payload)[len(HEADER) :]
+            assert "1111" not in body
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(CodecError):
+            decode_stream("0101010101")
+
+    def test_truncated_stream_rejected(self):
+        with pytest.raises(CodecError):
+            decode_stream(HEADER + "11")
+
+    def test_non_bits_rejected(self):
+        with pytest.raises(CodecError):
+            encode_payload("10a")
+
+    def test_try_decode_none_on_garbage(self):
+        assert try_decode_stream("1" * 30) is None
+
+    def test_encoded_length_formula(self):
+        for payload in ("", "0", "1", "0011", "111"):
+            ones = payload.count("1")
+            assert len(encode_payload(payload)) == encoded_length(
+                len(payload), ones
+            )
+
+    def test_max_payload_bits_inverse(self):
+        for bits in range(8):
+            length = encoded_length(bits)
+            assert max_payload_bits(length) >= bits
+
+
+class TestIntCodec:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**9))
+    def test_int_roundtrip(self, value):
+        assert bits_to_int(int_to_bits(value)) == value
+
+    def test_width_padding(self):
+        assert int_to_bits(5, 8) == "00000101"
+
+    def test_width_overflow(self):
+        with pytest.raises(CodecError):
+            int_to_bits(9, 3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(CodecError):
+            int_to_bits(-1)
+
+    def test_empty_bits_is_zero(self):
+        assert bits_to_int("") == 0
+
+
+class TestPackParts:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(bitstrings, min_size=1, max_size=5))
+    def test_roundtrip(self, parts):
+        packed = pack_parts(parts)
+        assert unpack_parts(packed, len(parts)) == parts
+
+    def test_empty_parts_allowed(self):
+        packed = pack_parts(["", "", "1"])
+        assert unpack_parts(packed, 3) == ["", "", "1"]
+
+    def test_trailing_garbage_rejected(self):
+        packed = pack_parts(["1"]) + "0"
+        with pytest.raises(CodecError):
+            unpack_parts(packed, 1)
+
+    def test_truncation_rejected(self):
+        packed = pack_parts(["101"])
+        with pytest.raises(CodecError):
+            unpack_parts(packed[:-1], 1)
+
+    def test_non_bitstring_rejected(self):
+        with pytest.raises(CodecError):
+            pack_parts(["1x"])

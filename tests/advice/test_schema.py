@@ -1,0 +1,97 @@
+"""Tests for schema classification, accounting, and the run driver."""
+
+import pytest
+
+from repro.advice import (
+    AdviceError,
+    FunctionSchema,
+    beta_of,
+    classify_schema_type,
+    total_bits,
+    validate_advice_map,
+)
+from repro.advice.schema import DecodeResult
+from repro.graphs import cycle, path
+from repro.lcl import vertex_coloring
+from repro.local import LocalGraph
+
+
+def _trivial_two_coloring_schema():
+    """Direct 1-bit encoding of a 2-coloring (the 'trivial schema')."""
+
+    def encode(graph):
+        return {v: str(v % 2) for v in graph.nodes()}
+
+    def decode(graph, advice):
+        labeling = {v: 1 + int(advice[v]) for v in graph.nodes()}
+        return DecodeResult(labeling=labeling, rounds=0)
+
+    return FunctionSchema(
+        "trivial-2col", encode, decode, problem=vertex_coloring(2)
+    )
+
+
+class TestClassification:
+    def test_uniform_fixed(self):
+        g = LocalGraph(path(4))
+        advice = {v: "01" for v in g.nodes()}
+        assert classify_schema_type(g, advice) == "uniform-fixed"
+
+    def test_subset_fixed(self):
+        g = LocalGraph(path(4))
+        advice = {0: "101", 1: "", 2: "110", 3: ""}
+        assert classify_schema_type(g, advice) == "subset-fixed"
+
+    def test_variable(self):
+        g = LocalGraph(path(4))
+        advice = {0: "1", 1: "", 2: "110", 3: ""}
+        assert classify_schema_type(g, advice) == "variable"
+
+    def test_all_empty_is_uniform(self):
+        g = LocalGraph(path(3))
+        assert classify_schema_type(g, {v: "" for v in g.nodes()}) == "uniform-fixed"
+
+
+class TestAccounting:
+    def test_beta_and_total(self):
+        g = LocalGraph(path(3))
+        advice = {0: "101", 1: "", 2: "1"}
+        assert beta_of(g, advice) == 3
+        assert total_bits(g, advice) == 4
+
+    def test_validate_rejects_non_bits(self):
+        g = LocalGraph(path(2))
+        with pytest.raises(AdviceError):
+            validate_advice_map(g, {0: "1", 1: "2"})
+
+
+class TestRunDriver:
+    def test_run_collects_stats(self):
+        g = LocalGraph(cycle(8), ids={v: v + 1 for v in range(8)})
+        run = _trivial_two_coloring_schema().run(g)
+        assert run.valid is True
+        assert run.schema_type == "uniform-fixed"
+        assert run.beta == 1
+        assert run.bits_per_node == 1.0
+        assert run.rounds == 0
+        assert run.n == 8
+
+    def test_run_flags_invalid_solution(self):
+        g = LocalGraph(cycle(5), ids={v: v + 1 for v in range(5)})  # odd!
+        run = _trivial_two_coloring_schema().run(g)
+        assert run.valid is False
+
+    def test_run_without_check(self):
+        g = LocalGraph(cycle(5), ids={v: v + 1 for v in range(5)})
+        run = _trivial_two_coloring_schema().run(g, check=False)
+        assert run.valid is None
+
+    def test_check_requires_problem(self):
+        schema = FunctionSchema(
+            "no-problem",
+            lambda g: {v: "" for v in g.nodes()},
+            lambda g, a: DecodeResult(labeling={}, rounds=0),
+        )
+        g = LocalGraph(path(2))
+        with pytest.raises(NotImplementedError):
+            schema.run(g)

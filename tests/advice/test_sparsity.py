@@ -1,0 +1,82 @@
+"""Tests for sparsity and composability measurements."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.advice import (
+    bit_holding_nodes,
+    is_epsilon_sparse,
+    max_holders_in_ball,
+    ones_density,
+    sparsity_report,
+)
+from repro.graphs import cycle, path
+from repro.local import LocalGraph
+
+
+class TestOnesDensity:
+    def test_density_computation(self):
+        g = LocalGraph(path(4))
+        advice = {0: "1", 1: "0", 2: "0", 3: "0"}
+        assert ones_density(g, advice) == 0.25
+
+    def test_requires_single_bits(self):
+        g = LocalGraph(path(2))
+        with pytest.raises(ValueError):
+            ones_density(g, {0: "10", 1: "0"})
+
+    def test_epsilon_sparse(self):
+        g = LocalGraph(cycle(10))
+        advice = {v: "1" if v == 0 else "0" for v in g.nodes()}
+        assert is_epsilon_sparse(g, advice, 0.1)
+        assert not is_epsilon_sparse(g, advice, 0.05)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=4, max_value=40), st.integers(min_value=0, max_value=3))
+    def test_density_bounds(self, n, ones):
+        g = LocalGraph(cycle(max(n, 4)))
+        advice = {v: "1" if v < ones else "0" for v in g.nodes()}
+        d = ones_density(g, advice)
+        assert 0.0 <= d <= 1.0
+        assert d == ones / g.n
+
+
+class TestHolders:
+    def test_bit_holding_nodes(self):
+        g = LocalGraph(path(4))
+        advice = {0: "11", 1: "", 2: "0", 3: ""}
+        assert set(bit_holding_nodes(g, advice)) == {0, 2}
+
+    def test_max_holders_in_ball(self):
+        g = LocalGraph(cycle(20), ids={v: v + 1 for v in range(20)})
+        advice = {v: "" for v in g.nodes()}
+        advice[0] = "1"
+        advice[2] = "11"
+        advice[10] = "101"
+        holders, bits = max_holders_in_ball(g, advice, 2)
+        assert holders == 2  # nodes 0 and 2 share a radius-2 ball
+        assert bits == 3  # 1 + 2 bits
+
+    def test_spread_holders(self):
+        g = LocalGraph(cycle(30))
+        advice = {v: "" for v in g.nodes()}
+        for v in (0, 10, 20):
+            advice[v] = "1"
+        holders, _ = max_holders_in_ball(g, advice, 4)
+        assert holders == 1
+
+
+class TestReport:
+    def test_report_fields(self):
+        g = LocalGraph(path(4))
+        advice = {0: "1", 1: "0", 2: "1", 3: "0"}
+        report = sparsity_report(g, advice)
+        assert report["holders"] == 4
+        assert report["beta"] == 1
+        assert report["ones_density"] == 0.5
+
+    def test_report_without_density_for_varlen(self):
+        g = LocalGraph(path(2))
+        report = sparsity_report(g, {0: "10", 1: ""})
+        assert "ones_density" not in report
+        assert report["bits_per_node"] == 1.0

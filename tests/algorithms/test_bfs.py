@@ -1,0 +1,77 @@
+"""Tests for BFS utility functions."""
+
+import networkx as nx
+import pytest
+
+from repro.algorithms import (
+    bfs_distances,
+    component_of,
+    components,
+    diameter_at_most,
+    path_at_distance,
+    shortest_path_within,
+)
+from repro.graphs import cycle, grid, path
+
+
+class TestDiameterAtMost:
+    def test_exact_threshold(self):
+        g = path(6)  # diameter 5
+        assert diameter_at_most(g, 5)
+        assert not diameter_at_most(g, 4)
+
+    def test_cycle(self):
+        g = cycle(10)  # diameter 5
+        assert diameter_at_most(g, 5)
+        assert not diameter_at_most(g, 4)
+
+    def test_single_node(self):
+        g = nx.Graph()
+        g.add_node(0)
+        assert diameter_at_most(g, 0)
+
+
+class TestPaths:
+    def test_shortest_path_within(self):
+        g = grid(4, 4)
+        found = shortest_path_within(g, 0, {15})
+        assert found[0] == 0 and found[-1] == 15
+        assert len(found) - 1 == nx.shortest_path_length(g, 0, 15)
+
+    def test_shortest_path_source_in_targets(self):
+        g = cycle(5)
+        assert shortest_path_within(g, 2, {2, 4}) == [2]
+
+    def test_shortest_path_unreachable(self):
+        g = nx.Graph()
+        g.add_nodes_from([0, 1])
+        assert shortest_path_within(g, 0, {1}) is None
+
+    def test_path_at_distance_valid(self):
+        g = grid(5, 5)
+        p = path_at_distance(g, 0, 4)
+        assert len(p) == 5
+        assert p[0] == 0
+        for i, v in enumerate(p):
+            assert nx.shortest_path_length(g, 0, v) == i
+
+    def test_path_at_distance_too_far(self):
+        g = path(4)
+        assert path_at_distance(g, 0, 10) is None
+
+    def test_bfs_distances_cutoff(self):
+        g = cycle(20)
+        dist = bfs_distances(g, 0, cutoff=3)
+        assert max(dist.values()) == 3
+        assert len(dist) == 7
+
+
+class TestComponents:
+    def test_component_of(self):
+        g = nx.Graph([(0, 1), (2, 3)])
+        assert component_of(g, 0) == {0, 1}
+
+    def test_components(self):
+        g = nx.Graph([(0, 1), (2, 3), (3, 4)])
+        sizes = sorted(len(c) for c in components(g))
+        assert sizes == [2, 3]

@@ -1,0 +1,111 @@
+"""Tests for coloring building blocks (Linial, reductions, list coloring)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import (
+    ColoringError,
+    assert_proper,
+    coloring_from_ids,
+    greedy_coloring,
+    is_proper,
+    linial_coloring,
+    linial_reduction_step,
+    list_coloring,
+    num_colors,
+    reduce_to_delta_plus_one,
+)
+from repro.graphs import complete, cycle, grid, random_regular, torus
+from repro.local import LocalGraph
+
+
+class TestGreedyAndBasics:
+    def test_greedy_is_proper(self):
+        g = LocalGraph(torus(5, 5), seed=1)
+        assert is_proper(g, greedy_coloring(g))
+
+    def test_greedy_at_most_delta_plus_one(self):
+        g = LocalGraph(random_regular(40, 5, seed=3), seed=2)
+        assert max(greedy_coloring(g).values()) <= 6
+
+    def test_assert_proper_raises(self):
+        g = LocalGraph(cycle(4))
+        with pytest.raises(ColoringError):
+            assert_proper(g, {v: 1 for v in g.nodes()})
+
+    def test_id_coloring_proper(self):
+        g = LocalGraph(complete(5), seed=4)
+        assert is_proper(g, coloring_from_ids(g))
+
+
+class TestLinial:
+    def test_one_step_reduces_id_coloring(self):
+        g = LocalGraph(cycle(200), seed=5)
+        start = coloring_from_ids(g)
+        reduced = linial_reduction_step(g, start)
+        assert is_proper(g, reduced)
+        assert max(reduced.values()) < max(start.values())
+
+    def test_one_step_requires_proper(self):
+        g = LocalGraph(cycle(4))
+        with pytest.raises(ColoringError):
+            linial_reduction_step(g, {v: 1 for v in g.nodes()})
+
+    def test_iteration_reaches_delta_squared_scale(self):
+        g = LocalGraph(cycle(500), seed=6)
+        coloring, rounds = linial_coloring(g)
+        assert is_proper(g, coloring)
+        # Delta = 2; O(Delta^2) scale means a small constant palette.
+        assert num_colors(coloring) <= 20
+        assert rounds <= 10  # log* flavored
+
+    def test_rounds_grow_slowly_with_n(self):
+        small, r_small = linial_coloring(LocalGraph(cycle(64), seed=7))
+        large, r_large = linial_coloring(LocalGraph(cycle(4096), seed=7))
+        assert r_large <= r_small + 2  # log* growth: basically flat
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=3, max_value=6))
+    def test_linial_on_regular_graphs(self, d):
+        g = LocalGraph(random_regular(30, d, seed=d), seed=d)
+        coloring, _ = linial_coloring(g)
+        assert is_proper(g, coloring)
+
+
+class TestReductions:
+    def test_reduce_to_delta_plus_one(self):
+        g = LocalGraph(torus(6, 6), seed=8)
+        start = coloring_from_ids(g)
+        reduced, rounds = reduce_to_delta_plus_one(g, start)
+        assert is_proper(g, reduced)
+        assert max(reduced.values()) <= g.max_degree + 1
+        assert rounds > 0
+
+    def test_reduce_noop_when_already_small(self):
+        g = LocalGraph(cycle(6))
+        start = {v: 1 + v % 2 for v in g.nodes()}
+        reduced, rounds = reduce_to_delta_plus_one(g, start)
+        assert reduced == start
+        assert rounds == 0
+
+    def test_list_coloring_respects_palettes(self):
+        g = LocalGraph(cycle(10), seed=9)
+        palettes = {v: [10 + v % 3, 20, 30] for v in g.nodes()}
+        schedule, _ = linial_coloring(g)
+        result, rounds = list_coloring(g, palettes, schedule)
+        assert is_proper(g, result)
+        for v in g.nodes():
+            assert result[v] in palettes[v]
+
+    def test_list_coloring_small_palette_rejected(self):
+        g = LocalGraph(cycle(4))
+        palettes = {v: [1] for v in g.nodes()}  # deg+1 = 3 needed
+        schedule = {v: 1 + v % 2 for v in g.nodes()}
+        with pytest.raises(ColoringError):
+            list_coloring(g, palettes, schedule)
+
+    def test_list_coloring_needs_proper_schedule(self):
+        g = LocalGraph(cycle(4))
+        palettes = {v: [1, 2, 3] for v in g.nodes()}
+        with pytest.raises(ColoringError):
+            list_coloring(g, palettes, {v: 1 for v in g.nodes()})

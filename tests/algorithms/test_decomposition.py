@@ -1,0 +1,78 @@
+"""Tests for Voronoi clusterings and cluster-graph coloring."""
+
+import pytest
+
+from repro.algorithms import (
+    color_cluster_graph,
+    greedy_ruling_set,
+    voronoi_clustering,
+)
+from repro.graphs import cycle, grid, torus
+from repro.local import LocalGraph
+
+
+class TestVoronoiClustering:
+    def test_everyone_assigned_when_centers_dominate(self):
+        g = LocalGraph(torus(6, 6), seed=1)
+        centers = greedy_ruling_set(g, 4)
+        clustering = voronoi_clustering(g, centers)
+        assert not clustering.unclustered()
+
+    def test_members_closest_to_their_center(self):
+        g = LocalGraph(grid(6, 6), seed=2)
+        centers = greedy_ruling_set(g, 5)
+        clustering = voronoi_clustering(g, centers)
+        for v in g.nodes():
+            own = clustering.cluster_of(v)
+            d_own = g.distance(v, own)
+            for c in centers:
+                assert d_own <= g.distance(v, c)
+
+    def test_tie_break_by_center_id(self):
+        g = LocalGraph(cycle(4), ids={0: 1, 1: 2, 2: 3, 3: 4})
+        clustering = voronoi_clustering(g, [0, 2])
+        # nodes 1 and 3 are equidistant; both go to the smaller-ID center 0
+        assert clustering.cluster_of(1) == 0
+        assert clustering.cluster_of(3) == 0
+
+    def test_max_radius_limits_assignment(self):
+        g = LocalGraph(cycle(20), seed=3)
+        clustering = voronoi_clustering(g, [0], max_radius=2)
+        assert len(clustering.members(0)) == 5
+        assert len(clustering.unclustered()) == 15
+
+    def test_restrict_to_subgraph(self):
+        g = LocalGraph(cycle(10), seed=4)
+        allowed = set(range(6))
+        clustering = voronoi_clustering(g, [0], restrict_to=allowed)
+        assert set(clustering.assignment) <= allowed
+
+    def test_cluster_radius_and_degree(self):
+        g = LocalGraph(cycle(12), ids={v: v + 1 for v in range(12)})
+        clustering = voronoi_clustering(g, [0, 6])
+        assert clustering.radius_of(0) == 3  # ties go to the smaller id, 0
+        assert clustering.degree_of(0) == 2  # two cut edges
+
+    def test_border_and_internal(self):
+        g = LocalGraph(cycle(12), seed=6)
+        clustering = voronoi_clustering(g, [0, 6])
+        border = set(clustering.border_of(0))
+        internal = set(clustering.internal_nodes(0, 1))
+        assert border and internal
+        assert not border & internal
+
+
+class TestClusterGraphColoring:
+    def test_adjacent_clusters_differ(self):
+        g = LocalGraph(grid(8, 8), seed=7)
+        centers = greedy_ruling_set(g, 3)
+        clustering = voronoi_clustering(g, centers)
+        colors = color_cluster_graph(clustering)
+        contracted = clustering.cluster_graph()
+        for a, b in contracted.edges():
+            assert colors[a] != colors[b]
+
+    def test_single_cluster_gets_color_one(self):
+        g = LocalGraph(cycle(6), seed=8)
+        clustering = voronoi_clustering(g, [0])
+        assert color_cluster_graph(clustering) == {0: 1}

@@ -1,0 +1,122 @@
+"""Tests for the LLL condition checker and Moser–Tardos resampling."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import (
+    BadEvent,
+    LLLFailure,
+    LLLInstance,
+    empirical_event_probability,
+    moser_tardos,
+    symmetric_condition_holds,
+)
+
+
+def _sat_instance(num_vars: int, clauses, seed_vars=None):
+    """k-SAT as an LLL instance: bad event = clause falsified."""
+    samplers = {
+        i: (lambda rng: rng.random() < 0.5) for i in range(num_vars)
+    }
+
+    def clause_event(index, clause):
+        def occurs(assignment, _clause=clause):
+            return all(
+                assignment[var] != positive for var, positive in _clause
+            )
+
+        return BadEvent(
+            name=f"clause-{index}",
+            variables=tuple(var for var, _ in clause),
+            occurs=occurs,
+        )
+
+    events = [clause_event(i, c) for i, c in enumerate(clauses)]
+    return LLLInstance(samplers=samplers, events=events)
+
+
+class TestSymmetricCondition:
+    def test_holds_for_small_p(self):
+        assert symmetric_condition_holds(0.01, 10)
+
+    def test_fails_for_large_p(self):
+        assert not symmetric_condition_holds(0.5, 10)
+
+    def test_boundary(self):
+        # e * p * (d+1) == 1 exactly
+        import math
+
+        p = 1 / (math.e * 4)
+        assert symmetric_condition_holds(p, 3)
+
+
+class TestDependencyDegree:
+    def test_disjoint_events_independent(self):
+        inst = _sat_instance(4, [[(0, True)], [(1, True)], [(2, True)]])
+        assert inst.dependency_degree() == 0
+
+    def test_shared_variable_counts(self):
+        inst = _sat_instance(3, [[(0, True), (1, True)], [(1, False), (2, True)]])
+        assert inst.dependency_degree() == 1
+
+
+class TestMoserTardos:
+    def test_solves_sparse_sat(self):
+        # 3-SAT with disjoint-ish clauses: p = 1/8, low dependency.
+        clauses = [
+            [(3 * i, True), (3 * i + 1, False), (3 * i + 2, True)]
+            for i in range(10)
+        ]
+        inst = _sat_instance(30, clauses)
+        assignment, resamples = moser_tardos(inst, seed=1)
+        assert not inst.violated(assignment)
+
+    def test_no_events_returns_sample(self):
+        inst = LLLInstance(
+            samplers={0: lambda rng: rng.randrange(3)}, events=[]
+        )
+        assignment, resamples = moser_tardos(inst, seed=2)
+        assert resamples == 0
+        assert 0 in assignment
+
+    def test_unsatisfiable_raises(self):
+        # x and not-x simultaneously: no assignment avoids both bad events.
+        inst = _sat_instance(1, [[(0, True)], [(0, False)]])
+        with pytest.raises(LLLFailure):
+            moser_tardos(inst, seed=3, max_resamples=50)
+
+    def test_deterministic_under_seed(self):
+        clauses = [[(i, True), ((i + 1) % 6, True)] for i in range(6)]
+        inst = _sat_instance(6, clauses)
+        a1, _ = moser_tardos(inst, seed=7)
+        a2, _ = moser_tardos(inst, seed=7)
+        assert a1 == a2
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_sparse_sat_property(self, seed):
+        clauses = [
+            [(4 * i, True), (4 * i + 1, True), (4 * i + 2, False), (4 * i + 3, False)]
+            for i in range(5)
+        ]
+        inst = _sat_instance(20, clauses)
+        assignment, _ = moser_tardos(inst, seed=seed)
+        assert not inst.violated(assignment)
+
+
+class TestEmpiricalProbability:
+    def test_certain_event(self):
+        event = BadEvent(name="always", variables=(0,), occurs=lambda a: True)
+        inst = LLLInstance(samplers={0: lambda rng: 0}, events=[event])
+        assert empirical_event_probability(inst, samples=50, seed=1) == 1.0
+
+    def test_impossible_event(self):
+        event = BadEvent(name="never", variables=(0,), occurs=lambda a: False)
+        inst = LLLInstance(samplers={0: lambda rng: 0}, events=[event])
+        assert empirical_event_probability(inst, samples=50, seed=1) == 0.0
+
+    def test_no_events(self):
+        inst = LLLInstance(samplers={0: lambda rng: 0}, events=[])
+        assert empirical_event_probability(inst, samples=10) == 0.0

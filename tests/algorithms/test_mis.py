@@ -1,0 +1,61 @@
+"""Tests for MIS algorithms."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import greedy_mis, is_mis, luby_mis
+from repro.graphs import complete, cycle, grid, random_regular, star
+from repro.local import LocalGraph
+
+
+class TestGreedyMIS:
+    @pytest.mark.parametrize(
+        "maker",
+        [lambda: cycle(11), lambda: grid(4, 5), lambda: star(6), lambda: complete(5)],
+    )
+    def test_greedy_mis_valid(self, maker):
+        g = LocalGraph(maker(), seed=1)
+        assert is_mis(g, greedy_mis(g))
+
+    def test_greedy_deterministic(self):
+        g = LocalGraph(grid(5, 5), seed=2)
+        assert greedy_mis(g) == greedy_mis(g)
+
+    def test_lowest_id_always_in(self):
+        g = LocalGraph(cycle(10), seed=3)
+        mis = greedy_mis(g)
+        lowest = min(g.nodes(), key=g.id_of)
+        assert lowest in mis
+
+
+class TestLubyMIS:
+    def test_luby_valid(self):
+        g = LocalGraph(random_regular(40, 4, seed=4), seed=4)
+        mis, rounds = luby_mis(g, seed=5)
+        assert is_mis(g, mis)
+        assert rounds >= 2
+
+    def test_luby_seed_deterministic(self):
+        g = LocalGraph(cycle(30), seed=6)
+        assert luby_mis(g, seed=1)[0] == luby_mis(g, seed=1)[0]
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_luby_property(self, seed):
+        g = LocalGraph(grid(4, 4), seed=seed % 100)
+        mis, _ = luby_mis(g, seed=seed)
+        assert is_mis(g, mis)
+
+
+class TestIsMIS:
+    def test_rejects_non_independent(self):
+        g = LocalGraph(cycle(4))
+        assert not is_mis(g, [0, 1])
+
+    def test_rejects_non_maximal(self):
+        g = LocalGraph(cycle(6))
+        assert not is_mis(g, [0])
+
+    def test_accepts_manual_mis(self):
+        g = LocalGraph(cycle(6))
+        assert is_mis(g, [0, 2, 4])

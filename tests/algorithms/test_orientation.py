@@ -1,0 +1,157 @@
+"""Tests for partner pairing and trail decomposition."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import (
+    eulerian_orientation,
+    imbalance,
+    is_almost_balanced,
+    orient_trails,
+    orientation_to_port_labels,
+    partner,
+    trail_decomposition,
+    trail_step,
+)
+from repro.graphs import (
+    caterpillar,
+    cycle,
+    disjoint_cycles,
+    even_degree_graph,
+    grid,
+    path,
+    random_regular,
+    star,
+    torus,
+)
+from repro.lcl import balanced_orientation, is_valid
+from repro.local import LocalGraph
+
+
+class TestPartner:
+    def test_even_degree_all_paired(self):
+        g = LocalGraph(torus(4, 4), seed=1)
+        for v in g.nodes():
+            for u in g.neighbors(v):
+                assert partner(g, v, u) is not None
+
+    def test_odd_degree_last_port_unpaired(self):
+        g = LocalGraph(star(3), seed=2)
+        nbrs = g.neighbors(0)
+        assert partner(g, 0, nbrs[0]) == nbrs[1]
+        assert partner(g, 0, nbrs[1]) == nbrs[0]
+        assert partner(g, 0, nbrs[2]) is None
+
+    def test_partner_involution(self):
+        g = LocalGraph(random_regular(30, 4, seed=3), seed=3)
+        for v in g.nodes():
+            for u in g.neighbors(v):
+                mate = partner(g, v, u)
+                if mate is not None:
+                    assert partner(g, v, mate) == u
+
+    def test_non_neighbor_raises(self):
+        g = LocalGraph(path(3))
+        with pytest.raises(Exception):
+            partner(g, 0, 2)
+
+
+class TestTrailDecomposition:
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda: cycle(12),
+            lambda: torus(4, 4),
+            lambda: grid(4, 5),
+            lambda: caterpillar(8, 3),
+            lambda: disjoint_cycles([3, 5, 7]),
+            lambda: random_regular(24, 5, seed=4),
+        ],
+    )
+    def test_every_edge_in_exactly_one_trail(self, maker):
+        g = LocalGraph(maker(), seed=7)
+        trails = trail_decomposition(g)
+        seen = set()
+        for trail in trails:
+            for a, b in trail.edges():
+                key = frozenset((a, b))
+                assert key not in seen, "edge in two trails"
+                seen.add(key)
+        assert len(seen) == g.m
+
+    def test_cycle_is_one_closed_trail(self):
+        g = LocalGraph(cycle(9), seed=5)
+        trails = trail_decomposition(g)
+        assert len(trails) == 1
+        assert trails[0].closed
+        assert trails[0].length == 9
+
+    def test_path_is_one_open_trail(self):
+        g = LocalGraph(path(6), seed=6)
+        trails = trail_decomposition(g)
+        assert len(trails) == 1
+        assert not trails[0].closed
+        assert trails[0].length == 5
+
+    def test_even_degrees_give_only_cycles(self):
+        g = LocalGraph(even_degree_graph(40, seed=8), seed=8)
+        assert all(t.closed for t in trail_decomposition(g))
+
+    def test_open_trail_endpoints_have_odd_degree(self):
+        g = LocalGraph(caterpillar(10, 2), seed=9)
+        for trail in trail_decomposition(g):
+            if not trail.closed:
+                assert g.degree(trail.nodes[0]) % 2 == 1
+                assert g.degree(trail.nodes[-1]) % 2 == 1
+
+    def test_trail_step_follows_decomposition(self):
+        g = LocalGraph(torus(4, 4), seed=10)
+        for trail in trail_decomposition(g):
+            nodes = list(trail.nodes)
+            for i in range(len(nodes) - 2):
+                assert (
+                    trail_step(g, nodes[i], nodes[i + 1]) == nodes[i + 2]
+                )
+
+
+class TestOrientations:
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda: cycle(10),
+            lambda: torus(5, 5),
+            lambda: grid(5, 5),
+            lambda: caterpillar(10, 3),
+            lambda: random_regular(30, 6, seed=11),
+            lambda: star(7),
+        ],
+    )
+    def test_eulerian_orientation_almost_balanced(self, maker):
+        g = LocalGraph(maker(), seed=12)
+        oriented = eulerian_orientation(g)
+        assert len(oriented) == g.m
+        assert is_almost_balanced(g, oriented)
+
+    def test_even_degree_exactly_balanced(self):
+        g = LocalGraph(torus(4, 6), seed=13)
+        oriented = eulerian_orientation(g)
+        assert all(x == 0 for x in imbalance(g, oriented).values())
+
+    def test_reversed_trails_also_balanced(self):
+        g = LocalGraph(grid(4, 4), seed=14)
+        trails = trail_decomposition(g)
+        oriented = orient_trails(
+            g, trails, directions={i: False for i in range(len(trails))}
+        )
+        assert is_almost_balanced(g, oriented)
+
+    def test_port_labels_valid_lcl(self):
+        g = LocalGraph(random_regular(20, 4, seed=15), seed=15)
+        labels = orientation_to_port_labels(g, eulerian_orientation(g))
+        assert is_valid(balanced_orientation(), g, labels)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_balance_property_random_ids(self, seed):
+        g = LocalGraph(torus(4, 4), seed=seed)
+        assert is_almost_balanced(g, eulerian_orientation(g))

@@ -1,0 +1,102 @@
+"""Tests for ruling sets, distance colorings, independent subsets."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import (
+    RulingSetError,
+    alpha_independent_subset,
+    distance_coloring,
+    greedy_ruling_set,
+    is_distance_coloring,
+    verify_ruling_set,
+)
+from repro.graphs import cycle, grid, random_regular, torus
+from repro.local import LocalGraph
+
+
+class TestRulingSet:
+    @pytest.mark.parametrize("spacing", [2, 3, 5, 8])
+    def test_greedy_ruling_set_properties(self, spacing):
+        g = LocalGraph(torus(6, 6), seed=spacing)
+        ruling = greedy_ruling_set(g, spacing)
+        assert verify_ruling_set(g, ruling, spacing, spacing - 1)
+
+    def test_spacing_one_is_all_nodes(self):
+        g = LocalGraph(cycle(5))
+        assert set(greedy_ruling_set(g, 1)) == set(g.nodes())
+
+    def test_invalid_spacing(self):
+        g = LocalGraph(cycle(5))
+        with pytest.raises(RulingSetError):
+            greedy_ruling_set(g, 0)
+
+    def test_restricted_candidates(self):
+        g = LocalGraph(cycle(20), seed=1)
+        candidates = [v for v in g.nodes() if v % 2 == 0]
+        ruling = greedy_ruling_set(g, 4, candidates=candidates)
+        assert set(ruling) <= set(candidates)
+        assert verify_ruling_set(g, ruling, 4, 3, dominated=candidates)
+
+    def test_verify_rejects_too_close(self):
+        g = LocalGraph(cycle(10))
+        assert not verify_ruling_set(g, [0, 1], 3, 2)
+
+    def test_verify_rejects_undominated(self):
+        g = LocalGraph(cycle(20))
+        assert not verify_ruling_set(g, [0], 3, 2)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=10, max_value=40),
+        st.integers(min_value=2, max_value=6),
+    )
+    def test_ruling_set_property_on_cycles(self, n, spacing):
+        g = LocalGraph(cycle(n), seed=n)
+        ruling = greedy_ruling_set(g, spacing)
+        assert verify_ruling_set(g, ruling, spacing, spacing - 1)
+
+
+class TestDistanceColoring:
+    @pytest.mark.parametrize("d", [1, 2, 4])
+    def test_distance_coloring_valid(self, d):
+        g = LocalGraph(grid(5, 5), seed=d)
+        coloring = distance_coloring(g, d)
+        assert is_distance_coloring(g, coloring, d)
+
+    def test_colors_bounded_by_ball_size(self):
+        g = LocalGraph(cycle(40), seed=2)
+        coloring = distance_coloring(g, 3)
+        assert max(coloring.values()) <= 7  # ball size 2*3+1
+
+    def test_distance_one_is_proper_coloring(self):
+        g = LocalGraph(random_regular(20, 4, seed=3), seed=3)
+        coloring = distance_coloring(g, 1)
+        for u, v in g.edges():
+            assert coloring[u] != coloring[v]
+
+    def test_invalid_distance(self):
+        g = LocalGraph(cycle(4))
+        with pytest.raises(RulingSetError):
+            distance_coloring(g, 0)
+
+
+class TestAlphaIndependent:
+    def test_pairwise_distance(self):
+        g = LocalGraph(cycle(30), seed=4)
+        subset = alpha_independent_subset(g, g.nodes(), 5)
+        for i, u in enumerate(subset):
+            for w in subset[i + 1 :]:
+                assert g.distance(u, w) >= 5
+
+    def test_subset_of_input(self):
+        g = LocalGraph(grid(4, 4), seed=5)
+        pool = [0, 3, 12, 15]
+        subset = alpha_independent_subset(g, pool, 2)
+        assert set(subset) <= set(pool)
+
+    def test_deterministic_in_ids(self):
+        g = LocalGraph(cycle(20), seed=6)
+        a = alpha_independent_subset(g, g.nodes(), 3)
+        b = alpha_independent_subset(g, g.nodes(), 3)
+        assert a == b

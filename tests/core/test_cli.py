@@ -1,0 +1,31 @@
+"""Tests for the `python -m repro` demo CLI."""
+
+import pytest
+
+from repro.__main__ import main, run_one
+from repro.core.api import available_schemas
+
+
+class TestCLI:
+    def test_single_schema(self, capsys):
+        code = main(["balanced-orientation", "--n", "80", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "balanced-orientation" in out
+        assert "True" in out
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["not-a-schema"])
+
+    def test_run_one_each_fast_schema(self):
+        for name in ("2-coloring", "balanced-orientation", "3-coloring"):
+            run = run_one(name, 60, seed=2)
+            assert run.valid
+
+    def test_all_registered_have_defaults(self):
+        from repro.__main__ import _default_instance
+
+        for name in available_schemas():
+            graph, kwargs = _default_instance(name, 60, 3)
+            assert graph.n > 0

@@ -1,0 +1,100 @@
+"""Tests for advice/compressed-set serialization."""
+
+import json
+
+import pytest
+
+from repro.advice import AdviceError
+from repro.core.io import (
+    load_advice,
+    load_compressed_edges,
+    load_run_report,
+    run_report,
+    save_advice,
+    save_compressed_edges,
+    save_run_report,
+)
+from repro.graphs import cycle, random_edge_subset, torus
+from repro.local import LocalGraph
+from repro.schemas import BalancedOrientationSchema, EdgeSetCompressor
+
+
+class TestAdviceRoundTrip:
+    def test_save_load_identity(self, tmp_path):
+        g = LocalGraph(cycle(60), seed=1)
+        schema = BalancedOrientationSchema(walk_limit=16)
+        advice = schema.encode(g)
+        path = tmp_path / "advice.json"
+        save_advice(path, g, advice)
+        loaded = load_advice(path, g)
+        assert loaded == {v: advice.get(v, "") for v in g.nodes()}
+
+    def test_loaded_advice_decodes(self, tmp_path):
+        g = LocalGraph(cycle(80), seed=2)
+        schema = BalancedOrientationSchema(walk_limit=16)
+        path = tmp_path / "advice.json"
+        save_advice(path, g, schema.encode(g))
+        result = schema.decode(g, load_advice(path, g))
+        assert schema.check_solution(g, result.labeling)
+
+    def test_graph_mismatch_rejected(self, tmp_path):
+        g = LocalGraph(cycle(60), seed=3)
+        path = tmp_path / "advice.json"
+        save_advice(path, g, {v: "0" for v in g.nodes()})
+        other = LocalGraph(cycle(62), seed=3)
+        with pytest.raises(AdviceError, match="different graph"):
+            load_advice(path, other)
+
+    def test_id_mismatch_rejected(self, tmp_path):
+        g = LocalGraph(cycle(60), seed=4)
+        path = tmp_path / "advice.json"
+        save_advice(path, g, {v: "0" for v in g.nodes()})
+        reseeded = LocalGraph(cycle(60), seed=5)
+        with pytest.raises(AdviceError, match="identifier mismatch"):
+            load_advice(path, reseeded)
+
+    def test_corrupt_bits_rejected(self, tmp_path):
+        g = LocalGraph(cycle(10), seed=6)
+        path = tmp_path / "advice.json"
+        save_advice(path, g, {v: "0" for v in g.nodes()})
+        payload = json.loads(path.read_text())
+        first = next(iter(payload["advice"]))
+        payload["advice"][first] = "0x1"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(AdviceError, match="corrupt bits"):
+            load_advice(path, g)
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"kind": "other", "format": 1}))
+        g = LocalGraph(cycle(10), seed=7)
+        with pytest.raises(AdviceError, match="not a v1 advice file"):
+            load_advice(path, g)
+
+
+class TestCompressedEdgesRoundTrip:
+    def test_save_load_and_decompress(self, tmp_path):
+        g = LocalGraph(torus(6, 6), seed=8)
+        subset = random_edge_subset(g.graph, 0.5, seed=9)
+        compressor = EdgeSetCompressor()
+        compressed = compressor.compress(g, subset)
+        path = tmp_path / "edges.json"
+        save_compressed_edges(path, g, compressed)
+        loaded = load_compressed_edges(path, g)
+        recovered = compressor.decompress(g, loaded)
+        expected = {
+            (u, v) if g.id_of(u) < g.id_of(v) else (v, u) for u, v in subset
+        }
+        assert recovered.edges == expected
+
+
+class TestRunReports:
+    def test_report_round_trip(self, tmp_path):
+        g = LocalGraph(cycle(40), seed=10)
+        run = BalancedOrientationSchema(walk_limit=16).run(g)
+        path = tmp_path / "report.json"
+        save_run_report(path, run)
+        loaded = load_run_report(path)
+        assert loaded == run_report(run)
+        assert loaded["valid"] is True
+        assert loaded["n"] == 40

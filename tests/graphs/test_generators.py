@@ -1,0 +1,139 @@
+"""Tests for graph generators."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs import (
+    binary_tree,
+    caterpillar,
+    cycle,
+    disjoint_cycles,
+    even_degree_graph,
+    grid,
+    hypercube,
+    king_grid,
+    path,
+    random_bipartite_regular,
+    random_regular,
+    torus,
+)
+
+
+class TestBasicShapes:
+    def test_cycle(self):
+        g = cycle(7)
+        assert g.number_of_nodes() == 7
+        assert all(d == 2 for _, d in g.degree())
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            cycle(2)
+
+    def test_grid_dimensions(self):
+        g = grid(3, 5)
+        assert g.number_of_nodes() == 15
+        assert max(d for _, d in g.degree()) == 4
+
+    def test_torus_regular(self):
+        g = torus(4, 5)
+        assert all(d == 4 for _, d in g.degree())
+
+    def test_torus_too_small(self):
+        with pytest.raises(ValueError):
+            torus(2, 5)
+
+    def test_king_grid_max_degree_8(self):
+        g = king_grid(4, 4)
+        assert max(d for _, d in g.degree()) == 8
+
+    def test_binary_tree_size(self):
+        g = binary_tree(4)
+        assert g.number_of_nodes() == 2**5 - 1
+
+    def test_hypercube(self):
+        g = hypercube(4)
+        assert g.number_of_nodes() == 16
+        assert all(d == 4 for _, d in g.degree())
+
+    def test_caterpillar_degrees(self):
+        g = caterpillar(5, 2)
+        assert g.number_of_nodes() == 15
+        spine_degrees = [g.degree(v) for v in range(5)]
+        assert max(spine_degrees) == 4  # 2 path + 2 legs
+
+
+class TestRandomFamilies:
+    def test_random_regular_is_regular(self):
+        g = random_regular(30, 5, seed=1)
+        assert all(d == 5 for _, d in g.degree())
+
+    def test_random_regular_parity_check(self):
+        with pytest.raises(ValueError):
+            random_regular(7, 3)
+
+    def test_bipartite_regular(self):
+        g = random_bipartite_regular(12, 4, seed=2)
+        assert all(d == 4 for _, d in g.degree())
+        assert nx.is_bipartite(g)
+        left, right = set(range(12)), set(range(12, 24))
+        for u, v in g.edges():
+            assert (u in left) != (v in left)
+
+    def test_bipartite_regular_seeded(self):
+        a = random_bipartite_regular(10, 3, seed=5)
+        b = random_bipartite_regular(10, 3, seed=5)
+        assert set(a.edges()) == set(b.edges())
+
+    def test_bipartite_d_too_large(self):
+        with pytest.raises(ValueError):
+            random_bipartite_regular(3, 4)
+
+
+class TestEvenDegree:
+    def test_disjoint_cycles_even(self):
+        g = disjoint_cycles([3, 4, 6])
+        assert g.number_of_nodes() == 13
+        assert all(d == 2 for _, d in g.degree())
+        assert nx.number_connected_components(g) == 3
+
+    def test_even_degree_graph_all_even(self):
+        g = even_degree_graph(50, seed=3)
+        assert all(d % 2 == 0 for _, d in g.degree())
+        assert nx.is_connected(g)
+
+    def test_disjoint_cycles_validates(self):
+        with pytest.raises(ValueError):
+            disjoint_cycles([2])
+
+
+class TestLatticeFamilies:
+    def test_triangular_grid(self):
+        from repro.graphs import triangular_grid
+
+        g = triangular_grid(6, 6)
+        assert g.number_of_nodes() == 36
+        assert max(d for _, d in g.degree()) == 6
+        import networkx as nx
+
+        assert not nx.is_bipartite(g)  # triangles
+
+    def test_hex_grid_bipartite_degree3(self):
+        from repro.graphs import hex_grid
+        import networkx as nx
+
+        g = hex_grid(4, 4)
+        assert max(d for _, d in g.degree()) == 3
+        assert nx.is_bipartite(g)
+
+    def test_lattices_have_subexponential_growth(self):
+        from repro.graphs import hex_grid, triangular_grid, binary_tree
+        from repro.graphs.growth import growth_rate_estimate
+        from repro.local import LocalGraph
+
+        tri = growth_rate_estimate(LocalGraph(triangular_grid(26, 26)), 16)
+        hexa = growth_rate_estimate(LocalGraph(hex_grid(14, 14)), 14)
+        tree = growth_rate_estimate(LocalGraph(binary_tree(9)), 8)
+        # Polynomial-growth lattices sit strictly below the tree; the gap
+        # widens with the measured radius (Definition 4.2 is asymptotic).
+        assert tree > 1.3 * tri
+        assert tree > 1.4 * hexa

@@ -1,0 +1,85 @@
+"""Tests for neighborhood-growth measurement (Definition 4.2 machinery)."""
+
+import pytest
+
+from repro.graphs import (
+    ball_sizes,
+    binary_tree,
+    cycle,
+    distance_coloring_colors_needed,
+    grid,
+    growth_profile,
+    growth_rate_estimate,
+    lemma3_alpha,
+    satisfies_growth_bound,
+)
+from repro.local import LocalGraph
+
+
+class TestBallSizes:
+    def test_cycle_linear_growth(self):
+        g = LocalGraph(cycle(21))
+        assert ball_sizes(g, 0, 5) == [1, 3, 5, 7, 9, 11]
+
+    def test_clipped_at_component(self):
+        g = LocalGraph(cycle(5))
+        sizes = ball_sizes(g, 0, 10)
+        assert sizes[-1] == 5
+        assert len(sizes) == 11
+
+    def test_profile_is_max_over_nodes(self):
+        g = LocalGraph(grid(3, 9))
+        profile = growth_profile(g, 2)
+        assert profile[0] == 1
+        assert profile[1] == 5  # interior node sees 4 neighbors
+
+
+class TestGrowthClassification:
+    def test_cycle_rate_decreases_with_radius(self):
+        g = LocalGraph(cycle(300))
+        shallow = growth_rate_estimate(g, 3)
+        deep = growth_rate_estimate(g, 20)
+        assert deep < shallow
+
+    def test_tree_rate_stays_high(self):
+        g = LocalGraph(binary_tree(9))
+        rate = growth_rate_estimate(g, 8)
+        assert rate > 0.5  # ~2^r growth
+
+    def test_cycle_vs_tree_contrast(self):
+        cyc = growth_rate_estimate(LocalGraph(cycle(500)), 12)
+        tree = growth_rate_estimate(LocalGraph(binary_tree(8)), 8)
+        assert tree > 2 * cyc
+
+    def test_satisfies_growth_bound(self):
+        g = LocalGraph(cycle(200))
+        # |N_<=x| = 2x+1 <= 2^(0.8 x) for x >= 5
+        assert satisfies_growth_bound(g, c=0.8, x0=5, max_radius=15)
+        assert not satisfies_growth_bound(g, c=0.1, x0=1, max_radius=15)
+
+
+class TestLemma3:
+    def test_alpha_in_range(self):
+        g = LocalGraph(cycle(200))
+        alpha = lemma3_alpha(g, 0, x=5, r=1, delta=2)
+        assert 5 <= alpha <= 10
+
+    def test_alpha_satisfies_lemma_on_cycle(self):
+        # On a cycle, |N_<=a| = 2a+1 and |N_=a+r| = 2, so the Lemma 4.3
+        # inequality |N_<=a| >= Delta^r |N_=a+r| = 4 holds from a >= 2.
+        g = LocalGraph(cycle(300))
+        alpha = lemma3_alpha(g, 0, x=4, r=1, delta=2)
+        ball = len(g.ball(0, alpha))
+        sphere = len(g.sphere(0, alpha + 1))
+        assert ball >= (2**1) * sphere
+
+    def test_small_component_returns_early(self):
+        g = LocalGraph(cycle(6))
+        alpha = lemma3_alpha(g, 0, x=4, r=1, delta=2)
+        assert 4 <= alpha <= 8  # sphere empty -> first alpha works
+
+
+class TestDistanceColoringBound:
+    def test_bound_matches_profile(self):
+        g = LocalGraph(cycle(50))
+        assert distance_coloring_colors_needed(g, 3) == 7

@@ -1,0 +1,110 @@
+"""Tests for planted-solution generators."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import (
+    greedy_recolor,
+    is_greedy_coloring,
+    planted_bipartite_even_degree,
+    planted_delta_colorable,
+    planted_k_colorable,
+    planted_three_colorable,
+    random_edge_subset,
+)
+from repro.graphs.planted import three_color_caterpillar
+
+
+def _assert_proper(graph, coloring):
+    for u, v in graph.edges():
+        assert coloring[u] != coloring[v]
+
+
+class TestPlantedColorable:
+    @pytest.mark.parametrize("k", [2, 3, 4, 6])
+    def test_certificate_proper(self, k):
+        graph, coloring = planted_k_colorable(50, k, seed=k)
+        _assert_proper(graph, coloring)
+        assert set(coloring.values()) <= set(range(1, k + 1))
+
+    def test_connected(self):
+        graph, _ = planted_k_colorable(60, 3, seed=1)
+        assert nx.is_connected(graph)
+
+    def test_three_colorable_shortcut(self):
+        graph, coloring = planted_three_colorable(40, seed=2)
+        _assert_proper(graph, coloring)
+        assert max(coloring.values()) <= 3
+
+    def test_delta_colorable_respects_degree_cap(self):
+        graph, coloring = planted_delta_colorable(70, 5, seed=3)
+        _assert_proper(graph, coloring)
+        assert max(d for _, d in graph.degree()) <= 5
+
+    def test_delta_too_small(self):
+        with pytest.raises(ValueError):
+            planted_delta_colorable(10, 2)
+
+    def test_seeded_determinism(self):
+        g1, c1 = planted_three_colorable(30, seed=9)
+        g2, c2 = planted_three_colorable(30, seed=9)
+        assert set(g1.edges()) == set(g2.edges())
+        assert c1 == c2
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=10, max_value=60), st.integers(min_value=0, max_value=10**6))
+    def test_planted_property(self, n, seed):
+        graph, coloring = planted_three_colorable(n, seed=seed)
+        _assert_proper(graph, coloring)
+
+
+class TestGreedyRecolor:
+    def test_output_is_greedy_and_proper(self):
+        graph, coloring = planted_three_colorable(50, seed=4)
+        greedy = greedy_recolor(graph, coloring)
+        _assert_proper(graph, greedy)
+        assert is_greedy_coloring(graph, greedy)
+
+    def test_never_raises_colors(self):
+        graph, coloring = planted_three_colorable(50, seed=5)
+        greedy = greedy_recolor(graph, coloring)
+        assert max(greedy.values()) <= max(coloring.values())
+
+    def test_already_greedy_untouched(self):
+        graph, coloring = three_color_caterpillar(20)
+        assert is_greedy_coloring(graph, coloring)
+        assert greedy_recolor(graph, coloring) == coloring
+
+    def test_is_greedy_detects_violation(self):
+        graph = nx.path_graph(2)
+        assert not is_greedy_coloring(graph, {0: 2, 1: 3})  # both could lower
+
+
+class TestOtherFamilies:
+    def test_bipartite_even_degree(self):
+        graph, two_coloring = planted_bipartite_even_degree(10, 4, seed=6)
+        assert all(d == 4 for _, d in graph.degree())
+        for u, v in graph.edges():
+            assert two_coloring[u] != two_coloring[v]
+
+    def test_bipartite_even_requires_even_d(self):
+        with pytest.raises(ValueError):
+            planted_bipartite_even_degree(10, 3)
+
+    def test_random_edge_subset_density(self):
+        graph, _ = planted_three_colorable(100, seed=7)
+        subset = random_edge_subset(graph, density=0.5, seed=8)
+        assert 0 < len(subset) < graph.number_of_edges()
+        assert all(graph.has_edge(u, v) for u, v in subset)
+
+    def test_random_edge_subset_extremes(self):
+        graph = nx.cycle_graph(10)
+        assert random_edge_subset(graph, density=0.0, seed=1) == []
+        assert len(random_edge_subset(graph, density=1.0, seed=1)) == 10
+
+    def test_caterpillar_structure(self):
+        graph, coloring = three_color_caterpillar(30)
+        g23 = graph.subgraph([v for v, c in coloring.items() if c != 1])
+        assert nx.number_connected_components(g23) == 1
+        assert nx.diameter(g23) == 29

@@ -1,0 +1,80 @@
+"""Schemas under pathological identifier assignments.
+
+The LOCAL model lets an adversary pick the identifiers (any distinct
+values from {1..poly(n)}).  Decoders must work for *every* assignment —
+sorted, reversed, exponentially spaced, or clustered — because all the
+canonical rules (smallest-edge, smallest-ID anchor, ID-ordered carrier
+sets) are order-based, never value-based.
+"""
+
+import pytest
+
+from repro.graphs import cycle, planted_three_colorable, random_edge_subset, torus
+from repro.local import LocalGraph
+from repro.schemas import (
+    BalancedOrientationSchema,
+    EdgeSetCompressor,
+    LCLSubexpSchema,
+    ThreeColoringSchema,
+    TwoColoringSchema,
+)
+from repro.lcl import vertex_coloring
+
+
+def _id_assignments(n):
+    """A zoo of adversarial identifier maps for nodes 0..n-1."""
+    return {
+        "sorted": {v: v + 1 for v in range(n)},
+        "reversed": {v: n - v for v in range(n)},
+        "exponential-gaps": {v: 2**min(v, 40) + v for v in range(n)},
+        "odd-then-even": {
+            v: (v + 1) if v % 2 == 0 else (n + v + 1) for v in range(n)
+        },
+    }
+
+
+class TestAdversarialIdentifiers:
+    @pytest.mark.parametrize("name", list(_id_assignments(1)))
+    def test_orientation(self, name):
+        n = 120
+        ids = _id_assignments(n)[name]
+        g = LocalGraph(cycle(n), ids=ids)
+        run = BalancedOrientationSchema(walk_limit=16).run(g)
+        assert run.valid, f"orientation failed under {name} ids"
+
+    @pytest.mark.parametrize("name", list(_id_assignments(1)))
+    def test_two_coloring(self, name):
+        n = 60
+        ids = _id_assignments(n)[name]
+        g = LocalGraph(cycle(n), ids=ids)
+        run = TwoColoringSchema(spacing=6).run(g)
+        assert run.valid, f"2-coloring failed under {name} ids"
+
+    @pytest.mark.parametrize("name", list(_id_assignments(1)))
+    def test_decompression(self, name):
+        g_nx = torus(6, 6)
+        ids = _id_assignments(36)[name]
+        g = LocalGraph(g_nx, ids=ids)
+        subset = random_edge_subset(g_nx, 0.5, seed=4)
+        compressor = EdgeSetCompressor()
+        recovered = compressor.decompress(g, compressor.compress(g, subset))
+        expected = {
+            (u, v) if g.id_of(u) < g.id_of(v) else (v, u) for u, v in subset
+        }
+        assert recovered.edges == expected, f"decompression failed under {name}"
+
+    @pytest.mark.parametrize("name", ["sorted", "reversed"])
+    def test_three_coloring(self, name):
+        graph, cert = planted_three_colorable(50, seed=5)
+        ids = _id_assignments(50)[name]
+        g = LocalGraph(graph, ids=ids)
+        run = ThreeColoringSchema(coloring=cert).run(g)
+        assert run.valid, f"3-coloring failed under {name} ids"
+
+    @pytest.mark.parametrize("name", ["sorted", "reversed"])
+    def test_lcl_subexp(self, name):
+        n = 150
+        ids = _id_assignments(n)[name]
+        g = LocalGraph(cycle(n), ids=ids)
+        run = LCLSubexpSchema(vertex_coloring(3), x=6).run(g)
+        assert run.valid, f"LCL schema failed under {name} ids"

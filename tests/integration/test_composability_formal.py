@@ -1,0 +1,61 @@
+"""Formal composability (Definition 3.4) of the concrete schema families."""
+
+import pytest
+
+from repro.advice import AdviceError, check_composability, compose
+from repro.advice.sparsity import max_holders_in_ball
+from repro.graphs import cycle
+from repro.local import LocalGraph
+from repro.schemas import (
+    SplittingOracleSchema,
+    TwoColoringSchema,
+    composable_orientation_schema,
+)
+from repro.schemas.orientation import BalancedOrientationSchema
+
+
+class TestLemma51Composability:
+    """Lemma 5.1: orientation admits a (gamma0=2, A=Theta(gamma^3),
+    T=Delta^{O(alpha)}) composable schema."""
+
+    @pytest.mark.parametrize("c,gamma,alpha", [(1.0, 2, 16), (0.5, 2, 32), (2.0, 3, 54)])
+    def test_instantiations_satisfy_definition(self, c, gamma, alpha):
+        schema = composable_orientation_schema(c, gamma, alpha)
+        g = LocalGraph(cycle(40 * alpha), seed=alpha)
+        advice = schema.encode(g)
+        assert check_composability(g, advice, alpha=alpha, gamma0=2, c=c, gamma=gamma)
+        assert schema.run(g).valid
+
+    def test_alpha_below_A_rejected(self):
+        with pytest.raises(AdviceError):
+            composable_orientation_schema(1.0, 3, alpha=10)  # A = gamma^3 * 2 = 54
+
+    def test_holders_per_ball_at_most_gamma0(self):
+        schema = composable_orientation_schema(1.0, 2, 16)
+        g = LocalGraph(cycle(800), seed=2)
+        advice = schema.encode(g)
+        holders, _ = max_holders_in_ball(g, advice, 16)
+        assert holders <= 2  # the anchor pair
+
+
+class TestCompositionPreservesSparsity:
+    def test_composed_schema_holders_still_sparse(self):
+        """Composing two sparse-holder schemas yields holders bounded by the
+        sum of the components' per-ball holder counts (Lemma 9.1's shape)."""
+        alpha = 12
+        first = TwoColoringSchema(spacing=6 * alpha)
+        second = SplittingOracleSchema(
+            BalancedOrientationSchema(
+                walk_limit=12 * alpha,
+                anchor_spacing=12 * alpha,
+                anchor_separation=3 * alpha,
+            )
+        )
+        composed = compose(first, second)
+        # Even-degree bipartite host: a long even cycle.
+        g = LocalGraph(cycle(1600), seed=3)
+        advice = composed.encode(g)
+        holders, _ = max_holders_in_ball(g, advice, alpha)
+        # 1 holder (2-coloring anchor) + 2 holders (anchor pair).
+        assert holders <= 3
+        assert composed.run(g).valid

@@ -1,0 +1,130 @@
+"""End-to-end integration: every contribution on realistic instances."""
+
+import pytest
+
+from repro import LocalGraph, solve_with_advice
+from repro.advice import ones_density, sparsity_report
+from repro.graphs import (
+    cycle,
+    grid,
+    planted_delta_colorable,
+    planted_three_colorable,
+    random_bipartite_regular,
+    random_edge_subset,
+    torus,
+)
+from repro.graphs.planted import three_color_caterpillar
+from repro.lcl import maximal_independent_set, vertex_coloring
+from repro.schemas import EdgeSetCompressor
+
+
+class TestContributionMatrix:
+    """One end-to-end check per numbered contribution of the paper."""
+
+    def test_contribution_1_lcl_subexp(self):
+        run = solve_with_advice(
+            "one-bit-lcl",
+            LocalGraph(cycle(48), seed=1),
+            problem=vertex_coloring(3),
+            x=24,
+        )
+        assert run.valid and run.beta == 1
+
+    def test_contribution_3_balanced_orientation(self):
+        run = solve_with_advice(
+            "one-bit-orientation", LocalGraph(cycle(260), seed=2), walk_limit=60
+        )
+        assert run.valid and run.beta == 1
+
+    def test_contribution_4_decompression(self):
+        g = LocalGraph(cycle(260), seed=3)
+        subset = random_edge_subset(g.graph, 0.5, seed=4)
+        compressor = EdgeSetCompressor(one_bit=True, walk_limit=60)
+        compressed = compressor.compress(g, subset)
+        report = compressor.storage_report(g, compressed)
+        assert report["within_paper_bound"] == 1.0
+        result = compressor.decompress(g, compressed)
+        assert result.edges == {
+            (u, v) if g.id_of(u) < g.id_of(v) else (v, u) for u, v in subset
+        }
+
+    def test_contribution_5_delta_coloring(self):
+        graph, _ = planted_delta_colorable(80, 5, seed=5)
+        run = solve_with_advice("delta-coloring", LocalGraph(graph, seed=6))
+        assert run.valid
+
+    def test_contribution_6_three_coloring(self):
+        graph, cert = three_color_caterpillar(180)
+        run = solve_with_advice(
+            "3-coloring", LocalGraph(graph, seed=7), coloring=cert
+        )
+        assert run.valid and run.beta == 1
+
+    def test_composability_framework(self):
+        g = LocalGraph(random_bipartite_regular(16, 4, seed=8), seed=9)
+        run = solve_with_advice("splitting", g, spacing=6)
+        assert run.valid
+
+
+class TestSparsityClaims:
+    def test_sparse_vs_dense_schemas(self):
+        """Headline contrast: orientation advice is arbitrarily sparse;
+        3-coloring advice is not."""
+        g = LocalGraph(cycle(600), seed=10)
+        orient = solve_with_advice(
+            "one-bit-orientation", g, walk_limit=120, anchor_spacing=120
+        )
+        assert orient.valid
+        sparse_density = ones_density(g, orient.advice)
+
+        graph, cert = planted_three_colorable(200, seed=11)
+        g3 = LocalGraph(graph, seed=12)
+        three = solve_with_advice("3-coloring", g3, coloring=cert)
+        assert three.valid
+        dense_density = ones_density(g3, three.advice)
+
+        assert sparse_density < 0.15
+        assert dense_density > 0.25
+        assert dense_density > 3 * sparse_density
+
+    def test_two_coloring_arbitrarily_sparse(self):
+        g = LocalGraph(cycle(1200), seed=13)
+        densities = []
+        for spacing in (40, 120, 400):
+            run = solve_with_advice("one-bit-2-coloring", g, spacing=spacing)
+            assert run.valid
+            densities.append(ones_density(g, run.advice))
+        assert densities[0] > densities[1] > densities[2]
+
+
+class TestRoundsVsN:
+    """The defining property of advice: T depends on Delta, never on n."""
+
+    @pytest.mark.parametrize(
+        "name,kwargs,makers",
+        [
+            (
+                "balanced-orientation",
+                {"walk_limit": 16},
+                [lambda n: cycle(n), None],
+            ),
+            ("2-coloring", {"spacing": 8}, [lambda n: cycle(2 * n), None]),
+        ],
+    )
+    def test_flat_rounds(self, name, kwargs, makers):
+        maker = makers[0]
+        rounds = set()
+        for n in (64, 256, 1024):
+            g = LocalGraph(maker(n), seed=14)
+            run = solve_with_advice(name, g, **kwargs)
+            assert run.valid
+            rounds.add(run.rounds)
+        assert len(rounds) == 1
+
+    def test_mis_via_lcl_schema_on_growing_grids(self):
+        for side in (6, 9):
+            g = LocalGraph(grid(side, side), seed=15)
+            run = solve_with_advice(
+                "lcl-subexp", g, problem=maximal_independent_set(), x=4
+            )
+            assert run.valid

@@ -1,0 +1,139 @@
+"""Failure injection: corrupted advice must never yield a silently
+invalid solution.
+
+For every schema we corrupt the advice in several ways and require one of
+three outcomes: (a) the decoder raises a typed error (InvalidAdvice /
+AdviceError / CodecError), (b) the decoded output fails the validity check
+(detected by run/verify), or (c) the output is — by luck — still valid.
+What must NEVER happen is a decode that returns an invalid labeling while
+the schema's own `check_solution` claims validity; we assert the checker
+and the decode agree.
+"""
+
+import pytest
+
+from repro.advice import AdviceError, CodecError
+from repro.advice.schema import InvalidAdvice
+from repro.graphs import cycle, planted_delta_colorable, planted_three_colorable, torus
+from repro.lcl import vertex_coloring
+from repro.local import LocalGraph
+from repro.proofs import corrupt_advice
+from repro.schemas import (
+    BalancedOrientationSchema,
+    DeltaColoringSchema,
+    LCLSubexpSchema,
+    OneBitOrientationSchema,
+    ThreeColoringSchema,
+    TwoColoringSchema,
+)
+
+DECODE_ERRORS = (InvalidAdvice, AdviceError, CodecError, Exception)
+
+
+def _assert_fail_closed(schema, graph, corrupted):
+    """Decode corrupted advice; any returned labeling must be judged by the
+    schema's own checker, and the judgement must be honest."""
+    try:
+        result = schema.decode(graph, corrupted)
+    except Exception:
+        return "raised"
+    valid = schema.check_solution(graph, result.labeling)
+    return "valid" if valid else "detected-invalid"
+
+
+class TestOrientationCorruption:
+    def test_flipped_direction_bits(self):
+        g = LocalGraph(cycle(120), seed=1)
+        schema = BalancedOrientationSchema(walk_limit=16)
+        advice = schema.encode(g)
+        outcomes = set()
+        for seed in range(6):
+            corrupted = corrupt_advice(advice, flips=1, seed=seed)
+            outcomes.add(_assert_fail_closed(schema, g, corrupted))
+        # A flipped direction bit yields an inconsistent trail orientation:
+        # detected as invalid (or the decode raises).
+        assert outcomes <= {"raised", "detected-invalid", "valid"}
+        assert "detected-invalid" in outcomes or "raised" in outcomes
+
+    def test_erased_advice_raises(self):
+        g = LocalGraph(cycle(120), seed=2)
+        schema = BalancedOrientationSchema(walk_limit=16)
+        with pytest.raises(Exception):
+            schema.decode(g, {v: "" for v in g.nodes()})
+
+    def test_one_bit_schema_garbage(self):
+        g = LocalGraph(cycle(260), seed=3)
+        schema = OneBitOrientationSchema(walk_limit=60)
+        advice = schema.encode(g)
+        corrupted = dict(advice)
+        # Saturate a stretch of nodes with ones: breaks sphere uniqueness.
+        for v in list(g.nodes())[:30]:
+            corrupted[v] = "1"
+        outcome = _assert_fail_closed(schema, g, corrupted)
+        assert outcome in ("raised", "detected-invalid")
+
+
+class TestColoringCorruption:
+    def test_three_coloring_bit_flips(self):
+        graph, cert = planted_three_colorable(60, seed=4)
+        g = LocalGraph(graph, seed=5)
+        schema = ThreeColoringSchema(coloring=cert)
+        advice = schema.encode(g)
+        for seed in range(8):
+            corrupted = corrupt_advice(advice, flips=2, seed=seed)
+            outcome = _assert_fail_closed(schema, g, corrupted)
+            assert outcome in ("raised", "detected-invalid", "valid")
+
+    def test_three_coloring_missing_bit(self):
+        graph, cert = planted_three_colorable(40, seed=6)
+        g = LocalGraph(graph, seed=7)
+        schema = ThreeColoringSchema(coloring=cert)
+        advice = schema.encode(g)
+        broken = dict(advice)
+        broken[next(iter(g.nodes()))] = ""  # node "loses" its bit
+        with pytest.raises(Exception):
+            schema.decode(g, broken)
+
+    def test_delta_coloring_corrupt_repair(self):
+        graph, _ = planted_delta_colorable(60, 4, seed=8)
+        g = LocalGraph(graph, seed=9)
+        schema = DeltaColoringSchema()
+        advice = schema.encode(g)
+        holders = [v for v in g.nodes() if advice[v]]
+        for victim in holders[:4]:
+            corrupted = corrupt_advice(advice, nodes=[victim], seed=10)
+            outcome = _assert_fail_closed(schema, g, corrupted)
+            assert outcome in ("raised", "detected-invalid", "valid")
+
+    def test_two_coloring_flipped_anchor(self):
+        g = LocalGraph(cycle(60), seed=11)
+        schema = TwoColoringSchema(spacing=6)
+        advice = schema.encode(g)
+        anchor = next(v for v in g.nodes() if advice[v])
+        corrupted = dict(advice)
+        corrupted[anchor] = "0" if advice[anchor] == "1" else "1"
+        # One flipped anchor disagrees with the others: invalid 2-coloring.
+        outcome = _assert_fail_closed(schema, g, corrupted)
+        assert outcome == "detected-invalid"
+
+
+class TestLCLCorruption:
+    def test_packed_advice_truncation(self):
+        g = LocalGraph(cycle(120), seed=12)
+        schema = LCLSubexpSchema(vertex_coloring(3), x=6)
+        advice = schema.encode(g)
+        holder = next(v for v in g.nodes() if advice[v])
+        corrupted = dict(advice)
+        corrupted[holder] = corrupted[holder][:-1]
+        outcome = _assert_fail_closed(schema, g, corrupted)
+        assert outcome in ("raised", "detected-invalid")
+
+    def test_pinned_label_flip_detected(self):
+        g = LocalGraph(cycle(120), seed=13)
+        schema = LCLSubexpSchema(vertex_coloring(3), x=6)
+        advice = schema.encode(g)
+        results = set()
+        for seed in range(6):
+            corrupted = corrupt_advice(advice, flips=1, seed=seed)
+            results.add(_assert_fail_closed(schema, g, corrupted))
+        assert results <= {"raised", "detected-invalid", "valid"}

@@ -1,0 +1,126 @@
+"""Cross-module property-based tests (hypothesis).
+
+These tie several subsystems together on randomized inputs: schema
+round-trips over random identifier assignments, order-invariance of real
+decoders, composability measurements, and the invariants the paper's
+definitions demand.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.advice import (
+    classify_schema_type,
+    ones_density,
+    pack_parts,
+    total_bits,
+    unpack_parts,
+)
+from repro.algorithms import imbalance
+from repro.graphs import cycle, planted_three_colorable, random_edge_subset, torus
+from repro.local import LocalGraph
+from repro.lower_bounds import is_order_invariant
+from repro.schemas import (
+    BalancedOrientationSchema,
+    EdgeSetCompressor,
+    ThreeColoringSchema,
+    TwoColoringSchema,
+)
+
+seeds = st.integers(min_value=0, max_value=10**6)
+
+
+class TestSchemaProperties:
+    @settings(max_examples=12, deadline=None)
+    @given(seeds, st.integers(min_value=3, max_value=12))
+    def test_orientation_balance_invariant(self, seed, half_n):
+        """For every identifier assignment, the decoded orientation is
+        almost balanced and covers every edge exactly once."""
+        g = LocalGraph(cycle(4 * half_n), seed=seed)
+        schema = BalancedOrientationSchema(walk_limit=16)
+        result = schema.decode(g, schema.encode(g))
+        oriented = result.detail["oriented_edges"]
+        assert len(oriented) == g.m
+        assert all(abs(x) <= 1 for x in imbalance(g, oriented).values())
+
+    @settings(max_examples=10, deadline=None)
+    @given(seeds)
+    def test_compression_roundtrip_random_ids(self, seed):
+        g = LocalGraph(torus(5, 5), seed=seed)
+        subset = random_edge_subset(g.graph, 0.5, seed=seed)
+        compressor = EdgeSetCompressor()
+        recovered = compressor.decompress(g, compressor.compress(g, subset))
+        expected = {
+            (u, v) if g.id_of(u) < g.id_of(v) else (v, u) for u, v in subset
+        }
+        assert recovered.edges == expected
+
+    @settings(max_examples=10, deadline=None)
+    @given(seeds, st.integers(min_value=3, max_value=10))
+    def test_two_coloring_valid_and_sparse(self, seed, spacing):
+        g = LocalGraph(cycle(60), seed=seed)
+        run = TwoColoringSchema(spacing=spacing).run(g)
+        assert run.valid
+        holders = sum(1 for v in g.nodes() if run.advice[v])
+        # At most one holder per spacing-ball: n / spacing-ish, rounded up.
+        assert holders <= g.n // spacing + spacing
+
+    @settings(max_examples=8, deadline=None)
+    @given(seeds)
+    def test_three_coloring_density_floor(self, seed):
+        graph, cert = planted_three_colorable(50, seed=seed)
+        g = LocalGraph(graph, seed=seed)
+        run = ThreeColoringSchema(coloring=cert).run(g)
+        assert run.valid
+        assert classify_schema_type(g, run.advice) == "uniform-fixed"
+        assert ones_density(g, run.advice) > 0.0
+
+
+class TestDefinitionInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.text(alphabet="01", max_size=10), min_size=1, max_size=4)
+    )
+    def test_pack_unpack_identity(self, parts):
+        assert unpack_parts(pack_parts(parts), len(parts)) == parts
+
+    @settings(max_examples=10, deadline=None)
+    @given(seeds)
+    def test_total_bits_additive_under_merge(self, seed):
+        g = LocalGraph(cycle(30), seed=seed)
+        a = {v: ("1" if v % 3 == 0 else "") for v in g.nodes()}
+        b = {v: ("01" if v % 5 == 0 else "") for v in g.nodes()}
+        merged = {
+            v: pack_parts([a[v], b[v]]) if (a[v] or b[v]) else ""
+            for v in g.nodes()
+        }
+        # Packing adds len+1 bits per non-empty... per *part* of a holder:
+        # total is bounded by raw + 2 * holders + raw (unary prefixes).
+        raw = total_bits(g, a) + total_bits(g, b)
+        holders = sum(1 for v in g.nodes() if merged[v])
+        assert total_bits(g, merged) <= 2 * raw + 2 * holders
+
+
+class TestOrderInvarianceOfRealDecoders:
+    def test_two_coloring_decoder_is_order_invariant(self):
+        """The 2-coloring decode depends only on identifier order: scaling
+        all identifiers leaves the output unchanged."""
+        g = LocalGraph(cycle(24), seed=3)
+        schema = TwoColoringSchema(spacing=6)
+        advice = schema.encode(g)
+        baseline = schema.decode(g, advice).labeling
+        scaled = LocalGraph(
+            cycle(24), ids={v: 5 * g.id_of(v) + 2 for v in g.nodes()}
+        )
+        rerun = schema.decode(scaled, advice).labeling
+        assert rerun == baseline
+
+    def test_orientation_decoder_is_order_invariant(self):
+        g = LocalGraph(cycle(80), seed=4)
+        schema = BalancedOrientationSchema(walk_limit=16)
+        advice = schema.encode(g)
+        baseline = schema.decode(g, advice).labeling
+        scaled = LocalGraph(
+            cycle(80), ids={v: 3 * g.id_of(v) + 11 for v in g.nodes()}
+        )
+        rerun = schema.decode(scaled, advice).labeling
+        assert rerun == baseline

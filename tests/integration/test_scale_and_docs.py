@@ -1,0 +1,84 @@
+"""Scale checks (n-independence at four-digit n) and documentation gates."""
+
+import inspect
+
+import pytest
+
+import repro
+import repro.advice as advice_pkg
+import repro.algorithms as algorithms_pkg
+import repro.graphs as graphs_pkg
+import repro.lcl as lcl_pkg
+import repro.local as local_pkg
+import repro.lower_bounds as lb_pkg
+import repro.proofs as proofs_pkg
+import repro.schemas as schemas_pkg
+from repro.graphs import cycle
+from repro.local import LocalGraph
+from repro.schemas import BalancedOrientationSchema, TwoColoringSchema
+
+
+class TestScale:
+    @pytest.mark.slow
+    def test_orientation_rounds_flat_to_8k(self):
+        rounds = set()
+        for n in (256, 2048, 8192):
+            g = LocalGraph(cycle(n), seed=9)
+            run = BalancedOrientationSchema(walk_limit=16).run(g)
+            assert run.valid
+            rounds.add(run.rounds)
+        assert len(rounds) == 1
+
+    @pytest.mark.slow
+    def test_two_coloring_rounds_flat_to_8k(self):
+        rounds = set()
+        for n in (256, 2048, 8192):
+            g = LocalGraph(cycle(n), seed=10)
+            run = TwoColoringSchema(spacing=8).run(g)
+            assert run.valid
+            rounds.add(run.rounds)
+        assert len(rounds) == 1
+
+
+class TestDocumentationGates:
+    """Every public item (listed in __all__) must carry a docstring."""
+
+    PACKAGES = [
+        repro,
+        local_pkg,
+        lcl_pkg,
+        algorithms_pkg,
+        graphs_pkg,
+        advice_pkg,
+        schemas_pkg,
+        proofs_pkg,
+        lb_pkg,
+    ]
+
+    @pytest.mark.parametrize(
+        "package", PACKAGES, ids=[p.__name__ for p in PACKAGES]
+    )
+    def test_public_items_documented(self, package):
+        undocumented = []
+        for name in getattr(package, "__all__", []):
+            obj = getattr(package, name)
+            if not (inspect.isfunction(obj) or inspect.isclass(obj)):
+                continue  # constants and type aliases need no docstrings
+            if not inspect.getdoc(obj):
+                undocumented.append(name)
+        assert not undocumented, (
+            f"{package.__name__}: undocumented public items {undocumented}"
+        )
+
+    def test_all_modules_have_docstrings(self):
+        import pkgutil
+
+        missing = []
+        for package in self.PACKAGES[1:]:
+            for info in pkgutil.iter_modules(package.__path__):
+                module = __import__(
+                    f"{package.__name__}.{info.name}", fromlist=[info.name]
+                )
+                if not module.__doc__:
+                    missing.append(module.__name__)
+        assert not missing, f"modules without docstrings: {missing}"

@@ -1,0 +1,225 @@
+"""Tests for the LCL catalog: each problem's checker on valid/invalid data."""
+
+import pytest
+
+from repro.graphs import cycle, grid, path, star, torus
+from repro.lcl import (
+    BLUE,
+    RED,
+    balanced_orientation,
+    edge_coloring,
+    is_valid,
+    list_coloring_from_input,
+    maximal_independent_set,
+    maximal_matching,
+    sinkless_orientation,
+    splitting,
+    vertex_coloring,
+    violations,
+)
+from repro.local import LocalGraph
+
+
+class TestVertexColoring:
+    def test_valid_2_coloring_even_cycle(self):
+        g = LocalGraph(cycle(6))
+        labeling = {v: 1 + v % 2 for v in g.nodes()}
+        assert is_valid(vertex_coloring(2), g, labeling)
+
+    def test_monochromatic_edge_rejected(self):
+        g = LocalGraph(path(2))
+        assert not is_valid(vertex_coloring(3), g, {0: 1, 1: 1})
+
+    def test_out_of_palette_rejected(self):
+        g = LocalGraph(path(2))
+        assert not is_valid(vertex_coloring(2), g, {0: 1, 1: 3})
+
+    def test_partial_labeling_tolerant(self):
+        # During backtracking an unlabeled neighbor must not trigger a
+        # violation at a labeled node.
+        g = LocalGraph(path(3))
+        problem = vertex_coloring(2)
+        assert problem.is_valid_at(g, {0: 1}, 0)
+
+    def test_violations_localized(self):
+        g = LocalGraph(path(4))
+        labeling = {0: 1, 1: 2, 2: 2, 3: 1}
+        bad = violations(vertex_coloring(3), g, labeling)
+        assert set(bad) == {1, 2}
+
+    def test_candidates(self):
+        g = LocalGraph(path(2))
+        assert vertex_coloring(4).candidate_labels(g, 0) == [1, 2, 3, 4]
+
+
+class TestListColoring:
+    def test_respects_palettes(self):
+        g = LocalGraph(path(2), inputs={0: (1, 2), 1: (2, 3)})
+        problem = list_coloring_from_input()
+        assert is_valid(problem, g, {0: 1, 1: 2})
+        assert not is_valid(problem, g, {0: 3, 1: 2})  # 3 not in 0's list
+
+    def test_proper_required(self):
+        g = LocalGraph(path(2), inputs={0: (1, 2), 1: (1, 2)})
+        assert not is_valid(list_coloring_from_input(), g, {0: 1, 1: 1})
+
+
+class TestMIS:
+    def test_valid_mis_on_cycle(self):
+        g = LocalGraph(cycle(6))
+        labeling = {v: 1 if v % 2 == 0 else 0 for v in g.nodes()}
+        assert is_valid(maximal_independent_set(), g, labeling)
+
+    def test_adjacent_ones_rejected(self):
+        g = LocalGraph(path(2))
+        assert not is_valid(maximal_independent_set(), g, {0: 1, 1: 1})
+
+    def test_undominated_zero_rejected(self):
+        g = LocalGraph(path(3))
+        assert not is_valid(
+            maximal_independent_set(), g, {0: 0, 1: 0, 2: 1}
+        )
+
+    def test_empty_set_rejected(self):
+        g = LocalGraph(cycle(4))
+        assert not is_valid(
+            maximal_independent_set(), g, {v: 0 for v in g.nodes()}
+        )
+
+
+class TestMaximalMatching:
+    def test_valid_matching_path4(self):
+        g = LocalGraph(path(4), ids={i: i + 1 for i in range(4)})
+        # match (0,1) and (2,3): each node points at its partner's port.
+        labeling = {
+            0: g.port_of(0, 1),
+            1: g.port_of(1, 0),
+            2: g.port_of(2, 3),
+            3: g.port_of(3, 2),
+        }
+        assert is_valid(maximal_matching(), g, labeling)
+
+    def test_nonmutual_pointer_rejected(self):
+        g = LocalGraph(path(3), ids={i: i + 1 for i in range(3)})
+        labeling = {0: g.port_of(0, 1), 1: g.port_of(1, 2), 2: g.port_of(2, 1)}
+        assert not is_valid(maximal_matching(), g, labeling)
+
+    def test_two_adjacent_unmatched_rejected(self):
+        g = LocalGraph(path(2))
+        assert not is_valid(maximal_matching(), g, {0: -1, 1: -1})
+
+
+class TestOrientations:
+    def _orient_cycle(self, g):
+        """Consistently orient a cycle 0 -> 1 -> ... -> 0 as port labels."""
+        n = g.n
+        labeling = {}
+        for v in g.nodes():
+            row = []
+            for u in g.neighbors(v):
+                row.append(1 if u == (v + 1) % n else -1)
+            labeling[v] = tuple(row)
+        return labeling
+
+    def test_cycle_orientation_balanced(self):
+        g = LocalGraph(cycle(7))
+        labeling = self._orient_cycle(g)
+        assert is_valid(balanced_orientation(), g, labeling)
+        assert is_valid(sinkless_orientation(), g, labeling)
+
+    def test_inconsistent_edge_rejected(self):
+        g = LocalGraph(path(2))
+        # Both endpoints claim the edge is outgoing.
+        labeling = {0: (1,), 1: (1,)}
+        assert not is_valid(balanced_orientation(), g, labeling)
+
+    def test_unbalanced_star_rejected(self):
+        g = LocalGraph(star(4))
+        labeling = {0: (1, 1, 1, 1)}
+        labeling.update({v: (-1,) for v in range(1, 5)})
+        assert not is_valid(balanced_orientation(), g, labeling)
+
+    def test_sink_of_degree_3_rejected(self):
+        g = LocalGraph(star(3))
+        labeling = {0: (-1, -1, -1)}
+        labeling.update({v: (1,) for v in range(1, 4)})
+        assert not is_valid(sinkless_orientation(), g, labeling)
+
+    def test_strict_candidates_balanced_only(self):
+        g = LocalGraph(torus(3, 3))  # 4-regular
+        problem = balanced_orientation(strict=True)
+        for label in problem.candidate_labels(g, 0):
+            assert sum(label) == 0
+
+    def test_wrong_arity_rejected(self):
+        g = LocalGraph(path(2))
+        assert not is_valid(balanced_orientation(), g, {0: (1, 1), 1: (-1,)})
+
+
+class TestEdgeColoringAndSplitting:
+    def test_valid_2_edge_coloring_of_path(self):
+        g = LocalGraph(path(3), ids={i: i + 1 for i in range(3)})
+        labeling = {0: (1,), 1: (1, 2), 2: (2,)}
+        assert is_valid(edge_coloring(2), g, labeling)
+
+    def test_repeated_color_at_node_rejected(self):
+        g = LocalGraph(path(3), ids={i: i + 1 for i in range(3)})
+        labeling = {0: (1,), 1: (1, 1), 2: (1,)}
+        assert not is_valid(edge_coloring(2), g, labeling)
+
+    def test_mismatched_edge_color_rejected(self):
+        g = LocalGraph(path(2))
+        assert not is_valid(edge_coloring(2), g, {0: (1,), 1: (2,)})
+
+    def test_splitting_on_cycle(self):
+        g = LocalGraph(cycle(4), ids={i: i + 1 for i in range(4)})
+        labeling = {}
+        for v in g.nodes():
+            row = []
+            for u in g.neighbors(v):
+                edge = (min(v, u), max(v, u))
+                # alternate colors around the 4-cycle
+                row.append(RED if edge in {(0, 1), (2, 3)} else BLUE)
+            labeling[v] = tuple(row)
+        assert is_valid(splitting(), g, labeling)
+
+    def test_splitting_imbalance_rejected(self):
+        g = LocalGraph(cycle(4))
+        labeling = {v: (RED, RED) for v in g.nodes()}
+        assert not is_valid(splitting(), g, labeling)
+
+    def test_splitting_candidates_balanced(self):
+        g = LocalGraph(torus(3, 3))
+        for label in splitting().candidate_labels(g, 0):
+            assert label.count(RED) == 2
+
+
+class TestWeakColoring:
+    def test_alternating_is_weak(self):
+        from repro.lcl import weak_coloring
+
+        g = LocalGraph(cycle(6))
+        labeling = {v: 1 + v % 2 for v in g.nodes()}
+        assert is_valid(weak_coloring(2), g, labeling)
+
+    def test_monochromatic_rejected(self):
+        from repro.lcl import weak_coloring
+
+        g = LocalGraph(cycle(4))
+        assert not is_valid(weak_coloring(2), g, {v: 1 for v in g.nodes()})
+
+    def test_weaker_than_proper(self):
+        from repro.lcl import weak_coloring
+
+        # 1,1,2,2 on a 4-cycle: improper but weakly valid (everyone has a
+        # differently-colored neighbor).
+        g = LocalGraph(cycle(4))
+        labeling = {0: 1, 1: 1, 2: 2, 3: 2}
+        assert is_valid(weak_coloring(2), g, labeling)
+        assert not is_valid(vertex_coloring(2), g, labeling)
+
+    def test_isolated_node_trivially_valid(self):
+        from repro.lcl import weak_coloring
+
+        g = LocalGraph.from_edges([], nodes=[0])
+        assert is_valid(weak_coloring(2), g, {0: 1})

@@ -1,0 +1,57 @@
+"""Tests for the LCLProblem container and helpers."""
+
+import pytest
+
+from repro.graphs import path
+from repro.lcl import (
+    LCLError,
+    LCLProblem,
+    port_label,
+    require_complete,
+    vertex_coloring,
+)
+from repro.local import LocalGraph
+
+
+class TestLCLProblem:
+    def test_radius_validation(self):
+        with pytest.raises(LCLError):
+            LCLProblem(
+                name="bad",
+                radius=0,
+                check=lambda g, l, v: True,
+                candidates=lambda g, v: (0,),
+            )
+
+    def test_candidate_labels_list(self):
+        g = LocalGraph(path(2))
+        problem = vertex_coloring(2)
+        labels = problem.candidate_labels(g, 0)
+        assert labels == [1, 2]
+        labels.append(99)  # caller-owned copy
+        assert problem.candidate_labels(g, 0) == [1, 2]
+
+
+class TestHelpers:
+    def test_require_complete_passes(self):
+        require_complete({0: "a", 1: "b"}, [0, 1])
+
+    def test_require_complete_raises(self):
+        with pytest.raises(LCLError):
+            require_complete({0: "a"}, [0, 1])
+
+    def test_require_complete_none_counts_as_missing(self):
+        with pytest.raises(LCLError):
+            require_complete({0: None}, [0])
+
+    def test_port_label(self):
+        g = LocalGraph(path(3), ids={i: i + 1 for i in range(3)})
+        labeling = {1: ("a", "b")}
+        assert port_label(g, labeling, 1, 0) == "a"
+        assert port_label(g, labeling, 1, 2) == "b"
+        assert port_label(g, labeling, 0, 1) is None
+
+    def test_port_label_non_tuple_raises(self):
+        g = LocalGraph(path(2))
+        with pytest.raises(LCLError):
+            port_label(g, {0: "scalar"}, 0, 1)

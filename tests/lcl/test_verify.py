@@ -1,0 +1,40 @@
+"""Tests for distributed verification."""
+
+import pytest
+
+from repro.graphs import cycle, path
+from repro.lcl import (
+    accept_map,
+    assert_valid,
+    is_valid,
+    vertex_coloring,
+    violations,
+)
+from repro.local import LocalGraph
+
+
+class TestVerify:
+    def test_accept_map_all_true_on_valid(self):
+        g = LocalGraph(cycle(6))
+        labeling = {v: 1 + v % 2 for v in g.nodes()}
+        accepts = accept_map(vertex_coloring(2), g, labeling)
+        assert all(accepts.values())
+
+    def test_accept_map_localizes_rejection(self):
+        g = LocalGraph(path(5))
+        labeling = {0: 1, 1: 2, 2: 1, 3: 1, 4: 2}
+        accepts = accept_map(vertex_coloring(2), g, labeling)
+        assert accepts[0] and accepts[4]
+        assert not accepts[2] and not accepts[3]
+
+    def test_assert_valid_raises_with_nodes(self):
+        g = LocalGraph(path(2))
+        with pytest.raises(AssertionError, match="invalid at"):
+            assert_valid(vertex_coloring(2), g, {0: 1, 1: 1})
+
+    def test_is_valid_equals_no_violations(self):
+        g = LocalGraph(cycle(5))
+        labeling = {v: 1 + v % 2 for v in g.nodes()}  # improper on odd cycle
+        assert is_valid(vertex_coloring(2), g, labeling) == (
+            not violations(vertex_coloring(2), g, labeling)
+        )

@@ -1,0 +1,46 @@
+"""Tests for LocalityTracker round accounting."""
+
+from repro.graphs import cycle, grid
+from repro.local import LocalGraph, LocalityTracker
+
+
+class TestLocalityTracker:
+    def test_initial_state(self):
+        t = LocalityTracker(LocalGraph(cycle(5)))
+        assert t.rounds == 0
+        assert t.queries == 0
+
+    def test_ball_records_radius(self):
+        t = LocalityTracker(LocalGraph(cycle(10)))
+        t.ball(0, 3)
+        assert t.rounds == 3
+        t.ball(1, 1)
+        assert t.rounds == 3  # max, not sum
+        t.sphere(2, 7)
+        assert t.rounds == 7
+
+    def test_charge_manual(self):
+        t = LocalityTracker(LocalGraph(cycle(5)))
+        t.charge(11)
+        assert t.rounds == 11
+
+    def test_neighbors_cost_one(self):
+        t = LocalityTracker(LocalGraph(cycle(5)))
+        t.neighbors(0)
+        assert t.rounds == 1
+
+    def test_mirrors_graph_results(self):
+        g = LocalGraph(grid(4, 4), seed=1)
+        t = LocalityTracker(g)
+        assert t.ball(5, 2) == g.ball(5, 2)
+        assert t.ball_subgraph(5, 2).number_of_nodes() == len(g.ball(5, 2))
+        assert t.degree(5) == g.degree(5)
+        assert t.max_degree == g.max_degree
+        assert t.n == g.n
+
+    def test_query_count(self):
+        t = LocalityTracker(LocalGraph(cycle(6)))
+        t.ball(0, 1)
+        t.sphere(0, 2)
+        t.charge(1)
+        assert t.queries == 3

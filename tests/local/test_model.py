@@ -1,0 +1,169 @@
+"""Tests for the two LOCAL execution engines and their equivalence."""
+
+import pytest
+
+from repro.graphs import cycle, grid, path, star
+from repro.local import (
+    GatherAlgorithm,
+    LocalGraph,
+    MessagePassingAlgorithm,
+    SimulationError,
+    gather_view,
+    run_message_passing,
+    run_view_algorithm,
+)
+
+
+class TestViewEngine:
+    def test_zero_rounds_outputs_degree(self):
+        g = LocalGraph(star(3))
+        result = run_view_algorithm(g, 0, lambda view: view.graph_max_degree)
+        assert result.rounds == 0
+        assert all(out == 3 for out in result.outputs.values())
+
+    def test_one_round_sees_neighbor_count(self):
+        g = LocalGraph(cycle(5))
+        result = run_view_algorithm(g, 1, lambda v: len(v.neighbors(v.center)))
+        assert all(out == 2 for out in result.outputs.values())
+
+    def test_negative_radius_raises(self):
+        g = LocalGraph(path(2))
+        with pytest.raises(SimulationError):
+            run_view_algorithm(g, -1, lambda v: 0)
+
+    def test_advice_reaches_views(self):
+        g = LocalGraph(path(3))
+        advice = {0: "1", 1: "0", 2: "1"}
+        result = run_view_algorithm(
+            g, 0, lambda v: v.advice_of(v.center), advice=advice
+        )
+        assert result.outputs == advice
+
+
+class _CountNeighbors(MessagePassingAlgorithm):
+    """Two-round message passing: learn degree sum of neighbors."""
+
+    def __init__(self):
+        super().__init__()
+        self.total = 0
+
+    def send(self, round_index):
+        return {port: self.ctx.degree for port in range(self.ctx.degree)}
+
+    def receive(self, round_index, messages):
+        self.total = sum(messages.values())
+        self.output = self.total
+
+
+class TestMessagePassing:
+    def test_neighbor_degree_sum(self):
+        g = LocalGraph(star(4))
+        result = run_message_passing(g, _CountNeighbors)
+        assert result.outputs[0] == 4  # center receives 4 ones
+        assert result.rounds == 1
+
+    def test_nontermination_detected(self):
+        class Forever(MessagePassingAlgorithm):
+            def receive(self, round_index, messages):
+                pass  # never halts
+
+        g = LocalGraph(path(2))
+        with pytest.raises(SimulationError):
+            run_message_passing(g, Forever, max_rounds=10)
+
+    def test_invalid_port_detected(self):
+        class BadPort(MessagePassingAlgorithm):
+            def send(self, round_index):
+                return {99: "boom"}
+
+            def receive(self, round_index, messages):
+                self.output = 0
+
+        g = LocalGraph(path(2))
+        with pytest.raises(SimulationError):
+            run_message_passing(g, BadPort)
+
+
+class TestEngineEquivalence:
+    """GatherAlgorithm (explicit flooding) must reproduce view semantics."""
+
+    @pytest.mark.parametrize("radius", [0, 1, 2, 3])
+    @pytest.mark.parametrize("maker", [lambda: cycle(9), lambda: grid(4, 4)])
+    def test_flooding_matches_views(self, radius, maker):
+        # Use id-named nodes so both engines talk about the same names.
+        g = LocalGraph(maker(), seed=radius + 1).relabel_by_id()
+
+        def decide(view):
+            return (
+                len(view.nodes),
+                len(view.edges),
+                tuple(sorted(view.ids[v] for v in view.nodes)),
+            )
+
+        via_views = run_view_algorithm(g, radius, decide)
+        via_messages = run_message_passing(
+            g, lambda: GatherAlgorithm(radius, decide)
+        )
+        assert via_messages.outputs == via_views.outputs
+        assert via_messages.rounds == radius
+
+    def test_flooding_carries_advice(self):
+        g = LocalGraph(path(5)).relabel_by_id()
+        advice = {v: str(v % 2) for v in g.nodes()}
+
+        def decide(view):
+            return sorted(
+                (view.ids[v], view.advice_of(v)) for v in view.nodes
+            )
+
+        via_views = run_view_algorithm(g, 2, decide, advice=advice)
+        via_messages = run_message_passing(
+            g, lambda: GatherAlgorithm(2, decide), advice=advice
+        )
+        assert via_messages.outputs == via_views.outputs
+
+
+class TestMessageTrace:
+    def test_trace_counts_messages(self):
+        from repro.local import MessageTrace
+        from repro.schemas import TwoColoringMessagePassing
+        from repro.schemas.two_coloring import TwoColoringSchema
+        from repro.graphs import cycle
+
+        g = LocalGraph(cycle(20), seed=1)
+        schema = TwoColoringSchema(spacing=5)
+        advice = schema.encode(g)
+        trace = MessageTrace()
+        run_message_passing(
+            g,
+            lambda: TwoColoringMessagePassing(5),
+            advice=advice,
+            trace=trace,
+        )
+        assert trace.total_messages > 0
+        assert len(trace.messages_per_round) >= 1
+        assert sum(trace.sent_by.values()) == trace.total_messages
+
+    def test_wave_traffic_grows_then_everyone_talks(self):
+        from repro.local import MessageTrace
+        from repro.schemas import TwoColoringMessagePassing
+        from repro.schemas.two_coloring import TwoColoringSchema
+        from repro.graphs import cycle
+
+        g = LocalGraph(cycle(60), seed=2)
+        schema = TwoColoringSchema(spacing=10)
+        advice = schema.encode(g)
+        trace = MessageTrace()
+        run_message_passing(
+            g, lambda: TwoColoringMessagePassing(10), advice=advice, trace=trace
+        )
+        # The anchor wave floods outward: later rounds carry at least as
+        # much traffic as the first post-anchor round.
+        assert trace.messages_per_round[-1] >= trace.messages_per_round[1]
+
+    def test_silent_run_has_empty_peak(self):
+        from repro.local import MessageTrace
+
+        trace = MessageTrace()
+        assert trace.peak_round == 0
+        assert trace.total_messages == 0

@@ -1,0 +1,119 @@
+"""Unit tests for radius-r views and order-invariance helpers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import cycle, grid, path, star
+from repro.local import LocalGraph, gather_view
+
+
+class TestGatherView:
+    def test_nodes_are_the_ball(self):
+        g = LocalGraph(grid(5, 5), seed=1)
+        view = gather_view(g, 12, 2)
+        assert set(view.nodes) == set(g.ball(12, 2))
+
+    def test_distances_recorded(self):
+        g = LocalGraph(cycle(10))
+        view = gather_view(g, 0, 3)
+        assert view.distance(0) == 0
+        assert view.distance(3) == 3
+        assert view.distance(7) == 3  # wraps the other way
+
+    def test_boundary_edges_invisible(self):
+        # Nodes at distance exactly r have not reported their edges, so an
+        # edge between two boundary nodes must be absent from the view.
+        g = LocalGraph(cycle(6))
+        view = gather_view(g, 0, 3)
+        # node 3 is at distance 3; edges (2,3) and (3,4) have an endpoint
+        # at distance 2, so they ARE visible; in C6 no two distance-3 nodes
+        # exist.  Use a 4-cycle of boundary nodes instead:
+        g2 = LocalGraph(grid(3, 3))
+        view2 = gather_view(g2, 0, 2)
+        # corners (0,2)->node2 and (2,0)->node6 are at distance 2; nodes 5
+        # and 7 are also at distance... check every recorded edge has an
+        # endpoint strictly inside.
+        for a, b in view2.edges:
+            assert min(view2.distance(a), view2.distance(b)) < 2
+
+    def test_radius_zero_sees_self_only(self):
+        g = LocalGraph(star(4))
+        view = gather_view(g, 0, 0)
+        assert set(view.nodes) == {0}
+        assert view.edges == frozenset()
+        assert view.degree(0) == 0  # no edges reported yet
+
+    def test_advice_included(self):
+        g = LocalGraph(path(4))
+        view = gather_view(g, 1, 1, advice={0: "101", 1: "0"})
+        assert view.advice_of(0) == "101"
+        assert view.advice_of(1) == "0"
+        assert view.advice_of(2) == ""
+
+    def test_inputs_included(self):
+        g = LocalGraph(path(3), inputs={0: ("x",), 2: 5})
+        view = gather_view(g, 1, 1)
+        assert view.input_of(0) == ("x",)
+        assert view.input_of(2) == 5
+
+    def test_neighbors_within_view(self):
+        g = LocalGraph(grid(4, 4), seed=2)
+        view = gather_view(g, 5, 2)
+        for u in view.neighbors(5):
+            assert view.has_edge(5, u)
+
+    def test_graph_metadata(self):
+        g = LocalGraph(cycle(9))
+        view = gather_view(g, 0, 1)
+        assert view.graph_n == 9
+        assert view.graph_max_degree == 2
+
+
+class TestOrderSignature:
+    def test_signature_invariant_under_monotone_id_maps(self):
+        base = LocalGraph(grid(4, 4), seed=3)
+        doubled = LocalGraph(
+            grid(4, 4), ids={v: 2 * base.id_of(v) + 5 for v in base.nodes()}
+        )
+        for v in base.nodes():
+            s1 = gather_view(base, v, 2).order_signature()
+            s2 = gather_view(doubled, v, 2).order_signature()
+            assert s1 == s2
+
+    def test_signature_changes_under_order_swap(self):
+        g1 = LocalGraph(path(3), ids={0: 1, 1: 2, 2: 3})
+        g2 = LocalGraph(path(3), ids={0: 3, 1: 2, 2: 1})
+        s1 = gather_view(g1, 0, 1).order_signature()
+        s2 = gather_view(g2, 0, 1).order_signature()
+        assert s1 != s2
+
+    def test_signature_depends_on_advice(self):
+        g = LocalGraph(path(3))
+        s1 = gather_view(g, 1, 1, advice={0: "1"}).order_signature()
+        s2 = gather_view(g, 1, 1, advice={0: "0"}).order_signature()
+        assert s1 != s2
+
+    def test_signature_hashable(self):
+        g = LocalGraph(cycle(5))
+        sig = gather_view(g, 0, 2).order_signature()
+        assert hash(sig) == hash(sig)
+
+    def test_canonical_ids_are_ranks(self):
+        g = LocalGraph(path(4), ids={0: 100, 1: 5, 2: 42, 3: 7})
+        view = gather_view(g, 1, 3).canonical()
+        assert sorted(view.ids.values()) == [1, 2, 3, 4]
+        # node 1 has the smallest original id -> rank 1
+        assert view.ids[1] == 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=4, max_value=12), st.integers(min_value=0, max_value=10**6))
+    def test_signature_invariance_property(self, n, offset):
+        base = LocalGraph(cycle(n), seed=n)
+        shifted = LocalGraph(
+            cycle(n), ids={v: base.id_of(v) + offset for v in base.nodes()}
+        )
+        v = n // 2
+        assert (
+            gather_view(base, v, 2).order_signature()
+            == gather_view(shifted, v, 2).order_signature()
+        )

@@ -1,0 +1,35 @@
+"""Edge cases: input-label freezing and view hashability."""
+
+from repro.graphs import path
+from repro.local import LocalGraph, gather_view
+from repro.local.views import _freeze
+
+
+class TestFreeze:
+    def test_scalars_pass_through(self):
+        assert _freeze(5) == 5
+        assert _freeze("x") == "x"
+        assert _freeze(None) is None
+
+    def test_containers_become_hashable(self):
+        assert hash(_freeze([1, 2, [3]])) is not None
+        assert hash(_freeze({"a": [1], "b": {2, 3}})) is not None
+
+    def test_set_order_canonical(self):
+        assert _freeze({3, 1, 2}) == _freeze({2, 3, 1})
+
+    def test_signature_with_rich_inputs(self):
+        g1 = LocalGraph(path(3), inputs={0: [1, 2], 1: {"k": [5]}})
+        g2 = LocalGraph(path(3), inputs={0: [1, 2], 1: {"k": [5]}})
+        s1 = gather_view(g1, 1, 1).order_signature()
+        s2 = gather_view(g2, 1, 1).order_signature()
+        assert s1 == s2
+        assert hash(s1) == hash(s2)
+
+    def test_signature_distinguishes_inputs(self):
+        g1 = LocalGraph(path(3), inputs={0: [1]})
+        g2 = LocalGraph(path(3), inputs={0: [2]})
+        assert (
+            gather_view(g1, 1, 1).order_signature()
+            != gather_view(g2, 1, 1).order_signature()
+        )

@@ -1,0 +1,145 @@
+"""Tests for the brute-force advice search (the ETH reduction, measured)."""
+
+import pytest
+
+from repro.graphs import cycle, path
+from repro.lcl import is_valid, vertex_coloring
+from repro.local import LocalGraph
+from repro.lower_bounds import (
+    brute_force_advice_search,
+    parity_cycle_decoder,
+    reduction_cost_model,
+)
+
+
+class TestBruteForce:
+    @pytest.mark.parametrize("n", [4, 5, 6, 7])
+    def test_finds_valid_advice_on_cycles(self, n):
+        g = LocalGraph(cycle(n), seed=n)
+        outcome = brute_force_advice_search(
+            vertex_coloring(3), g, radius=n // 2 + 1,
+            decoder=parity_cycle_decoder(n),
+        )
+        assert outcome.found
+        assert is_valid(vertex_coloring(3), g, outcome.labeling)
+
+    def test_found_advice_replays(self):
+        g = LocalGraph(cycle(6), seed=1)
+        outcome = brute_force_advice_search(
+            vertex_coloring(3), g, radius=4, decoder=parity_cycle_decoder(4)
+        )
+        from repro.local import run_view_algorithm
+
+        rerun = run_view_algorithm(
+            g, 4, parity_cycle_decoder(4), advice=outcome.advice
+        )
+        assert is_valid(vertex_coloring(3), g, rerun.outputs)
+
+    def test_unsatisfiable_exhausts(self):
+        # 2-coloring an odd cycle fails for every advice assignment.
+        def always_mod_two(view):
+            return 1 + view.id_of(view.center) % 2
+
+        g = LocalGraph(cycle(5), seed=2)
+        outcome = brute_force_advice_search(
+            vertex_coloring(2), g, radius=1, decoder=always_mod_two
+        )
+        assert not outcome.found
+        assert outcome.assignments_tried == 2**5
+
+    def test_assignment_budget(self):
+        g = LocalGraph(cycle(8), seed=3)
+        outcome = brute_force_advice_search(
+            vertex_coloring(2),
+            g,
+            radius=1,
+            decoder=lambda view: 1,
+            max_assignments=10,
+        )
+        assert outcome.assignments_tried == 11
+        assert not outcome.found
+
+    def test_beta_two_alphabet(self):
+        # beta = 2 means 4 strings per node; confirm exhaustion count.
+        def reject_all(view):
+            return 0
+
+        g = LocalGraph(path(2), seed=4)
+        outcome = brute_force_advice_search(
+            vertex_coloring(2), g, radius=1, decoder=reject_all, beta=2
+        )
+        assert outcome.assignments_tried == 4**2
+
+    def test_exponential_growth_of_worst_case(self):
+        """Exhaustion cost doubles per extra node — the 2^n curve."""
+        tried = []
+        for n in (4, 5, 6):
+            g = LocalGraph(cycle(n), seed=5)
+            outcome = brute_force_advice_search(
+                vertex_coloring(2),  # odd/even mix; decoder never succeeds
+                g,
+                radius=1,
+                decoder=lambda view: 1,
+            )
+            tried.append(outcome.assignments_tried)
+        assert tried == [16, 32, 64]
+
+
+class TestCostModel:
+    def test_formula(self):
+        assert reduction_cost_model(3, 1, 2.0) == 8 * 3 * 2.0
+        assert reduction_cost_model(2, 2, 1.0) == 16 * 2
+
+    def test_doubles_per_node(self):
+        assert reduction_cost_model(11, 1, 1.0) / reduction_cost_model(
+            10, 1, 1.0
+        ) == pytest.approx(2 * 11 / 10)
+
+
+class TestFullReduction:
+    """The complete Section 8 pipeline: advice algorithm -> order-invariant
+    lookup table -> brute-force search driven by the table."""
+
+    def test_search_through_lookup_table(self):
+        from repro.lower_bounds import build_lookup_table, canonicalize
+
+        radius = 4
+        base = parity_cycle_decoder(radius)
+        invariant = canonicalize(base)
+
+        # Tabulate the order-invariant algorithm over all advice patterns
+        # on training cycles (simulating the Ramsey-provided finiteness).
+        import itertools
+
+        training = LocalGraph(cycle(6), seed=1)
+        tables = []
+        graphs, advices = [], []
+        for combo in itertools.product("01", repeat=6):
+            graphs.append(training)
+            advices.append(dict(zip(training.nodes(), combo)))
+        table = build_lookup_table(graphs, radius, invariant, advices)
+
+        # The table now drives the brute-force search: s(n) is a dict
+        # lookup, the paper's "cheap to simulate".
+        outcome = brute_force_advice_search(
+            vertex_coloring(3),
+            training,
+            radius=radius,
+            decoder=table.decide,
+        )
+        assert outcome.found
+        assert is_valid(vertex_coloring(3), training, outcome.labeling)
+
+    def test_table_decoder_matches_original(self):
+        from repro.local import run_view_algorithm
+        from repro.lower_bounds import build_lookup_table, canonicalize
+
+        radius = 3
+        base = parity_cycle_decoder(radius)
+        invariant = canonicalize(base)
+        g = LocalGraph(cycle(8), seed=2)
+        advice = {v: ("1" if v % 4 == 0 else "0") for v in g.nodes()}
+        table = build_lookup_table([g], radius, invariant, [advice])
+        via_table = run_view_algorithm(g, radius, table.decide, advice=advice)
+        via_fn = run_view_algorithm(g, radius, invariant, advice=advice)
+        assert via_table.outputs == via_fn.outputs

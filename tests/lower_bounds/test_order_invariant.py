@@ -1,0 +1,98 @@
+"""Tests for order-invariance machinery (Section 8)."""
+
+import pytest
+
+from repro.graphs import cycle, grid, path
+from repro.local import LocalGraph, gather_view
+from repro.lower_bounds import (
+    LookupTable,
+    OrderInvarianceViolation,
+    build_lookup_table,
+    canonicalize,
+    is_order_invariant,
+    run_lookup_table,
+)
+
+
+def _id_dependent(view):
+    """An algorithm that leaks numeric identifier values."""
+    return view.id_of(view.center) % 7
+
+
+def _order_based(view):
+    """An algorithm depending only on identifier order: local rank."""
+    ids = sorted(view.ids[v] for v in view.nodes)
+    return ids.index(view.id_of(view.center))
+
+
+class TestIsOrderInvariant:
+    def test_id_dependent_detected(self):
+        g = LocalGraph(cycle(10), seed=1)
+        assert not is_order_invariant(g, 1, _id_dependent)
+
+    def test_order_based_passes(self):
+        g = LocalGraph(cycle(10), seed=2)
+        assert is_order_invariant(g, 1, _order_based)
+
+    def test_canonicalized_always_passes(self):
+        g = LocalGraph(grid(4, 4), seed=3)
+        wrapped = canonicalize(_id_dependent)
+        assert is_order_invariant(g, 1, wrapped)
+
+    def test_canonicalize_preserves_order_based_output(self):
+        g = LocalGraph(cycle(12), seed=4)
+        from repro.local import run_view_algorithm
+
+        plain = run_view_algorithm(g, 2, _order_based).outputs
+        wrapped = run_view_algorithm(g, 2, canonicalize(_order_based)).outputs
+        assert plain == wrapped
+
+
+class TestLookupTable:
+    def test_table_reproduces_algorithm(self):
+        target = LocalGraph(cycle(12), seed=99)
+        graphs = [LocalGraph(cycle(n), seed=n) for n in (8, 16)] + [target]
+        table = build_lookup_table(graphs, 2, _order_based)
+        from repro.local import run_view_algorithm
+
+        expected = run_view_algorithm(target, 2, _order_based).outputs
+        got = run_lookup_table(target, 2, table).outputs
+        assert got == expected
+
+    def test_table_size_bounded_independent_of_n(self):
+        """The quantitative heart of Section 8: an order-invariant radius-2
+        algorithm on cycles has at most (2*2+1)! = 120 distinct canonical
+        views, no matter how large n grows — constant simulation cost."""
+        sizes = []
+        for n in (64, 512, 4096):
+            table = build_lookup_table(
+                [LocalGraph(cycle(n), seed=n)], 2, _order_based
+            )
+            sizes.append(len(table))
+            assert len(table) <= 120
+        # Growth in n does not translate into table growth: the largest
+        # cycle contributes n views but far fewer distinct signatures.
+        assert sizes[-1] < 4096 / 8
+
+    def test_violation_detected(self):
+        graphs = [LocalGraph(cycle(30), seed=5)]
+        with pytest.raises(OrderInvarianceViolation):
+            build_lookup_table(graphs, 1, _id_dependent)
+
+    def test_unknown_view_raises(self):
+        table = LookupTable()
+        g = LocalGraph(path(3), seed=6)
+        view = gather_view(g, 0, 1)
+        with pytest.raises(KeyError):
+            table.decide(view)
+        assert table.misses == 1
+
+    def test_table_with_advice(self):
+        def advice_reader(view):
+            return view.advice_of(view.center)
+
+        g = LocalGraph(cycle(8), seed=7)
+        advice = {v: str(v % 2) for v in g.nodes()}
+        table = build_lookup_table([g], 1, advice_reader, [advice])
+        result = run_lookup_table(g, 1, table, advice=advice)
+        assert result.outputs == {v: str(v % 2) for v in g.nodes()}

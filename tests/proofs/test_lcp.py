@@ -1,0 +1,94 @@
+"""Tests for locally checkable proofs + failure injection (soundness)."""
+
+import pytest
+
+from repro.graphs import cycle, planted_three_colorable, torus
+from repro.local import LocalGraph
+from repro.proofs import LocallyCheckableProof, corrupt_advice
+from repro.schemas import BalancedOrientationSchema, ThreeColoringSchema
+
+
+class TestCompleteness:
+    def test_orientation_proof_accepts(self):
+        g = LocalGraph(torus(6, 6), seed=1)
+        lcp = LocallyCheckableProof(BalancedOrientationSchema(walk_limit=16))
+        certificate = lcp.prove(g)
+        accepts = lcp.verify(g, certificate)
+        assert all(accepts.values())
+
+    def test_three_coloring_proof_accepts(self):
+        graph, cert = planted_three_colorable(50, seed=2)
+        g = LocalGraph(graph, seed=3)
+        lcp = LocallyCheckableProof(ThreeColoringSchema(coloring=cert))
+        assert lcp.accepts(g, lcp.prove(g))
+
+
+class TestSoundness:
+    def test_acceptance_exhibits_solution(self):
+        """If all nodes accept, a valid solution exists (it was decoded)."""
+        g = LocalGraph(cycle(60), seed=4)
+        schema = BalancedOrientationSchema(walk_limit=16)
+        lcp = LocallyCheckableProof(schema)
+        certificate = lcp.prove(g)
+        if lcp.accepts(g, certificate):
+            result = schema.decode(g, certificate)
+            assert not [
+                v
+                for v in g.nodes()
+                if not schema.problem.is_valid_at(g, result.labeling, v)
+            ]
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_corrupted_certificates_rejected(self, seed):
+        graph, cert = planted_three_colorable(60, seed=seed)
+        g = LocalGraph(graph, seed=seed + 50)
+        lcp = LocallyCheckableProof(ThreeColoringSchema(coloring=cert))
+        certificate = lcp.prove(g)
+        corrupted = corrupt_advice(certificate, flips=4, seed=seed)
+        if corrupted == certificate:
+            pytest.skip("flips cancelled out")
+        # Corruption must never yield acceptance of an *invalid* solution:
+        # either some node rejects, or the decoded solution is still valid.
+        accepts = lcp.verify(g, corrupted)
+        if all(accepts.values()):
+            result = ThreeColoringSchema(coloring=cert).decode(g, corrupted)
+            from repro.lcl import is_valid, vertex_coloring
+
+            assert is_valid(vertex_coloring(3), g, result.labeling)
+
+    def test_all_zero_certificate_rejected(self):
+        graph, cert = planted_three_colorable(40, seed=6)
+        g = LocalGraph(graph, seed=7)
+        lcp = LocallyCheckableProof(ThreeColoringSchema(coloring=cert))
+        zeros = {v: "0" for v in g.nodes()}
+        assert not lcp.accepts(g, zeros)
+
+
+class TestCorruptAdvice:
+    def test_targets_specified_nodes(self):
+        advice = {0: "10", 1: "0", 2: ""}
+        out = corrupt_advice(advice, nodes=[2], seed=1)
+        assert out[2] == "1"
+        assert out[0] == "10"
+
+    def test_flip_changes_one_bit(self):
+        advice = {0: "1111"}
+        out = corrupt_advice(advice, nodes=[0], seed=2)
+        diffs = sum(a != b for a, b in zip(advice[0], out[0]))
+        assert diffs == 1
+
+    def test_empty_advice_rejected(self):
+        with pytest.raises(ValueError):
+            corrupt_advice({0: "", 1: ""}, flips=1)
+
+    def test_requires_problem(self):
+        from repro.advice import FunctionSchema
+        from repro.advice.schema import DecodeResult
+
+        schema = FunctionSchema(
+            "bare",
+            lambda g: {},
+            lambda g, a: DecodeResult(labeling={}, rounds=0),
+        )
+        with pytest.raises(ValueError):
+            LocallyCheckableProof(schema)

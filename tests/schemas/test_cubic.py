@@ -1,0 +1,156 @@
+"""Tests for the open-question-4 cubic 2-bit encoder (Section 1.9)."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.advice import AdviceError
+from repro.graphs import random_edge_subset, random_regular
+from repro.local import LocalGraph
+from repro.schemas.cubic import (
+    CubicTwoBitCompressor,
+    canonical_deleted_edge,
+    peel_order,
+)
+
+
+def _cubic(n, seed):
+    return LocalGraph(random_regular(n, 3, seed=seed), seed=seed + 1)
+
+
+def _canonical(graph, subset):
+    return {
+        (u, v) if graph.id_of(u) < graph.id_of(v) else (v, u) for u, v in subset
+    }
+
+
+class TestPeeling:
+    def test_peel_order_covers_component(self):
+        g = _cubic(20, 1)
+        component = g.components()[0]
+        deleted = canonical_deleted_edge(g, component)
+        order = peel_order(g, component, deleted)
+        assert {v for v, _ in order} == component
+
+    def test_every_vertex_owns_at_most_two(self):
+        g = _cubic(30, 2)
+        component = g.components()[0]
+        deleted = canonical_deleted_edge(g, component)
+        for _, owned in peel_order(g, component, deleted):
+            assert len(owned) <= 2
+
+    def test_every_edge_owned_exactly_once(self):
+        g = _cubic(24, 3)
+        component = g.components()[0]
+        deleted = canonical_deleted_edge(g, component)
+        order = peel_order(g, component, deleted)
+        owned_edges = set()
+        for v, owned in order:
+            for u in owned:
+                key = frozenset((v, u))
+                assert key not in owned_edges
+                owned_edges.add(key)
+        assert len(owned_edges) == g.m - 1  # all but the deleted edge
+
+    def test_last_vertex_owns_nothing(self):
+        g = _cubic(16, 4)
+        component = g.components()[0]
+        deleted = canonical_deleted_edge(g, component)
+        order = peel_order(g, component, deleted)
+        assert order[-1][1] == []
+
+    def test_deleted_edge_is_canonical(self):
+        g = _cubic(14, 5)
+        component = g.components()[0]
+        a, b = canonical_deleted_edge(g, component)
+        ids = sorted(
+            (
+                min(g.id_of(u), g.id_of(v)),
+                max(g.id_of(u), g.id_of(v)),
+            )
+            for u, v in g.edges()
+        )
+        assert (g.id_of(a), g.id_of(b)) == ids[0]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("density", [0.0, 0.5, 1.0])
+    def test_lossless(self, density):
+        g = _cubic(40, 6)
+        subset = random_edge_subset(g.graph, density, seed=7)
+        compressor = CubicTwoBitCompressor()
+        compressed = compressor.compress(g, subset)
+        edges, rounds = compressor.decompress(g, compressed)
+        assert edges == _canonical(g, subset)
+        assert rounds >= 1
+
+    def test_multiple_components(self):
+        g1 = random_regular(10, 3, seed=8)
+        g2 = nx.relabel_nodes(random_regular(12, 3, seed=9), lambda v: v + 10)
+        g = LocalGraph(nx.union(g1, g2), seed=10)
+        subset = random_edge_subset(g.graph, 0.5, seed=11)
+        compressor = CubicTwoBitCompressor()
+        edges, _ = compressor.decompress(g, compressor.compress(g, subset))
+        assert edges == _canonical(g, subset)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_roundtrip_property(self, seed):
+        g = _cubic(20, seed % 1000)
+        subset = random_edge_subset(g.graph, 0.5, seed=seed)
+        compressor = CubicTwoBitCompressor()
+        edges, _ = compressor.decompress(g, compressor.compress(g, subset))
+        assert edges == _canonical(g, subset)
+
+
+class TestStorageBudget:
+    def test_two_bits_per_node(self):
+        g = _cubic(40, 12)
+        compressor = CubicTwoBitCompressor()
+        compressed = compressor.compress(
+            g, random_edge_subset(g.graph, 0.5, seed=13)
+        )
+        report = compressor.storage_report(g, compressed)
+        assert report["within_budget"] == 1.0
+        assert report["bits_per_node"] <= 2.0
+        # Beats both the paper's generic ceil(d/2)+1 = 3 and trivial 3.
+        assert report["bits_per_node"] < report["orientation_scheme_bits_per_node"]
+
+    def test_total_bits_near_information_bound(self):
+        # |E| = 1.5n bits of information, stored in <= 2n slots.
+        g = _cubic(60, 14)
+        compressor = CubicTwoBitCompressor()
+        compressed = compressor.compress(
+            g, random_edge_subset(g.graph, 0.5, seed=15)
+        )
+        assert compressed.total_bits() <= 2 * g.n
+        assert compressed.total_bits() >= g.m  # one bit per encoded edge
+
+
+class TestErrors:
+    def test_non_cubic_rejected(self):
+        g = LocalGraph(nx.cycle_graph(8))
+        with pytest.raises(AdviceError):
+            CubicTwoBitCompressor().compress(g, [])
+
+    def test_non_edge_rejected(self):
+        g = _cubic(10, 16)
+        non_edge = next(
+            (u, v)
+            for u in g.nodes()
+            for v in g.nodes()
+            if u != v and not g.has_edge(u, v)
+        )
+        with pytest.raises(AdviceError):
+            CubicTwoBitCompressor().compress(g, [non_edge])
+
+    def test_corrupt_slot_detected(self):
+        g = _cubic(20, 17)
+        compressor = CubicTwoBitCompressor()
+        compressed = compressor.compress(
+            g, random_edge_subset(g.graph, 0.5, seed=18)
+        )
+        victim = next(v for v in g.nodes() if compressed.slots[v])
+        compressed.slots[victim] += "00"
+        with pytest.raises(AdviceError):
+            compressor.decompress(g, compressed)

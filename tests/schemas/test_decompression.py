@@ -1,0 +1,117 @@
+"""Tests for local edge-set decompression (Contribution 4)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.advice import AdviceError
+from repro.graphs import (
+    caterpillar,
+    cycle,
+    grid,
+    random_edge_subset,
+    random_regular,
+    torus,
+)
+from repro.local import LocalGraph
+from repro.schemas import EdgeSetCompressor
+
+
+def _canonical(graph, subset):
+    return {
+        (u, v) if graph.id_of(u) < graph.id_of(v) else (v, u) for u, v in subset
+    }
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda: cycle(80),
+            lambda: torus(7, 7),
+            lambda: grid(8, 8),
+            lambda: caterpillar(25, 2),
+            lambda: random_regular(48, 6, seed=1),
+        ],
+    )
+    @pytest.mark.parametrize("density", [0.0, 0.3, 1.0])
+    def test_lossless(self, maker, density):
+        g = LocalGraph(maker(), seed=2)
+        subset = random_edge_subset(g.graph, density, seed=3)
+        compressor = EdgeSetCompressor()
+        compressed = compressor.compress(g, subset)
+        recovered = compressor.decompress(g, compressed)
+        assert recovered.edges == _canonical(g, subset)
+
+    def test_one_bit_variant_lossless(self):
+        g = LocalGraph(cycle(250), seed=4)
+        subset = random_edge_subset(g.graph, 0.5, seed=5)
+        compressor = EdgeSetCompressor(one_bit=True, walk_limit=60)
+        compressed = compressor.compress(g, subset)
+        recovered = compressor.decompress(g, compressed)
+        assert recovered.edges == _canonical(g, subset)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.floats(min_value=0, max_value=1), st.integers(0, 10**6))
+    def test_roundtrip_property(self, density, seed):
+        g = LocalGraph(torus(5, 5), seed=seed)
+        subset = random_edge_subset(g.graph, density, seed=seed)
+        compressor = EdgeSetCompressor()
+        recovered = compressor.decompress(g, compressor.compress(g, subset))
+        assert recovered.edges == _canonical(g, subset)
+
+
+class TestStorageBounds:
+    def test_within_paper_bound_variable_length(self):
+        g = LocalGraph(random_regular(40, 8, seed=6), seed=7)
+        compressor = EdgeSetCompressor()
+        compressed = compressor.compress(
+            g, random_edge_subset(g.graph, 0.5, seed=8)
+        )
+        report = compressor.storage_report(g, compressed)
+        assert report["within_paper_bound"] == 1.0
+        assert report["bits_per_node"] < report["trivial_bits_per_node"]
+
+    def test_one_bit_meets_headline_bound(self):
+        # ceil(d/2) + 1 bits per node exactly (d = 2 on a cycle -> 2 bits).
+        g = LocalGraph(cycle(300), seed=9)
+        compressor = EdgeSetCompressor(one_bit=True, walk_limit=60)
+        compressed = compressor.compress(
+            g, random_edge_subset(g.graph, 0.5, seed=10)
+        )
+        report = compressor.storage_report(g, compressed)
+        assert report["within_paper_bound"] == 1.0
+        assert report["bits_per_node"] <= 2.0
+
+    def test_savings_grow_with_degree(self):
+        ratios = []
+        for d in (4, 8, 12):
+            g = LocalGraph(random_regular(60, d, seed=d), seed=d)
+            compressor = EdgeSetCompressor()
+            compressed = compressor.compress(
+                g, random_edge_subset(g.graph, 0.5, seed=d)
+            )
+            report = compressor.storage_report(g, compressed)
+            ratios.append(
+                report["bits_per_node"] / report["trivial_bits_per_node"]
+            )
+        # ratio tends to 1/2 from above as d grows
+        assert ratios[-1] < 0.62
+        assert all(r < 1 for r in ratios)
+
+
+class TestErrors:
+    def test_non_edge_rejected(self):
+        g = LocalGraph(cycle(10), seed=11)
+        with pytest.raises(AdviceError):
+            EdgeSetCompressor().compress(g, [(0, 5)])
+
+    def test_corrupt_membership_detected(self):
+        g = LocalGraph(cycle(60), seed=12)
+        compressor = EdgeSetCompressor()
+        compressed = compressor.compress(
+            g, random_edge_subset(g.graph, 0.5, seed=13)
+        )
+        victim = next(v for v in g.nodes() if compressed.membership[v])
+        compressed.membership[victim] += "0"  # wrong length
+        with pytest.raises(AdviceError):
+            compressor.decompress(g, compressed)

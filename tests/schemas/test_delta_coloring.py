@@ -1,0 +1,187 @@
+"""Tests for the Section 6 Delta-coloring pipeline."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.advice import InvalidAdvice
+from repro.algorithms import is_proper
+from repro.graphs import cycle, planted_delta_colorable, torus
+from repro.lcl import is_valid, vertex_coloring
+from repro.local import LocalGraph
+from repro.schemas import (
+    ClusterColoringSchema,
+    DeltaColoringSchema,
+    DeltaPlusOneReduction,
+    DeltaRepairSchema,
+)
+
+
+class TestClusterColoring:
+    @pytest.mark.parametrize("maker", [lambda: torus(7, 7), lambda: cycle(60)])
+    def test_proper_and_few_colors(self, maker):
+        g = LocalGraph(maker(), seed=1)
+        run = ClusterColoringSchema(spacing=6).run(g)
+        assert run.valid is True
+        # O(Delta^2) scale: generous constant factor.
+        assert run.result.detail["num_colors"] <= 4 * (g.max_degree**2) + 8
+
+    def test_rounds_independent_of_n(self):
+        rounds = []
+        for n in (60, 240, 960):
+            g = LocalGraph(cycle(n), seed=2)
+            run = ClusterColoringSchema(spacing=6).run(g)
+            assert run.valid
+            rounds.append(run.rounds)
+        assert max(rounds) - min(rounds) <= 2  # only Linial steps may vary
+
+    def test_advice_sits_on_sparse_centers(self):
+        g = LocalGraph(torus(8, 8), seed=3)
+        schema = ClusterColoringSchema(spacing=6)
+        advice = schema.encode(g)
+        holders = [v for v in g.nodes() if advice[v]]
+        # Ruling-set spacing 6: holders pairwise >= 6 apart.
+        for i, u in enumerate(holders):
+            for w in holders[i + 1 :]:
+                assert g.distance(u, w) >= 6
+
+    def test_empty_advice_rejected(self):
+        g = LocalGraph(cycle(20), seed=4)
+        schema = ClusterColoringSchema(spacing=6)
+        with pytest.raises(InvalidAdvice):
+            schema.decode(g, {v: "" for v in g.nodes()})
+
+
+class TestStages:
+    def test_delta_plus_one_reduction_stage(self):
+        g = LocalGraph(torus(6, 6), seed=5)
+        oracle = {v: g.id_of(v) for v in g.nodes()}  # trivially proper
+        stage = DeltaPlusOneReduction()
+        result = stage.decode(g, stage.encode(g, oracle), oracle)
+        assert is_proper(g, result.labeling)
+        assert max(result.labeling.values()) <= g.max_degree + 1
+
+    def test_repair_stage_eliminates_extra_color(self):
+        graph, cert = planted_delta_colorable(60, 4, seed=6)
+        g = LocalGraph(graph, seed=7)
+        delta = g.max_degree
+        # Build a Delta+1 coloring with some color-(Delta+1) nodes.
+        from repro.algorithms import coloring_from_ids, reduce_to_delta_plus_one
+
+        oracle, _ = reduce_to_delta_plus_one(g, coloring_from_ids(g))
+        stage = DeltaRepairSchema()
+        advice = stage.encode(g, oracle)
+        result = stage.decode(g, advice, oracle)
+        assert is_valid(vertex_coloring(delta), g, result.labeling)
+
+    def test_repair_advice_only_on_changed_nodes(self):
+        graph, cert = planted_delta_colorable(60, 5, seed=8)
+        g = LocalGraph(graph, seed=9)
+        from repro.algorithms import coloring_from_ids, reduce_to_delta_plus_one
+
+        oracle, _ = reduce_to_delta_plus_one(g, coloring_from_ids(g))
+        stage = DeltaRepairSchema()
+        advice = stage.encode(g, oracle)
+        result = stage.decode(g, advice, oracle)
+        for v in g.nodes():
+            if advice[v]:
+                assert result.labeling[v] != oracle[v]
+            else:
+                assert result.labeling[v] == oracle[v]
+
+    def test_repair_decode_rejects_leftover_overflow(self):
+        graph, _ = planted_delta_colorable(40, 4, seed=10)
+        g = LocalGraph(graph, seed=11)
+        from repro.algorithms import coloring_from_ids, reduce_to_delta_plus_one
+
+        oracle, _ = reduce_to_delta_plus_one(g, coloring_from_ids(g))
+        stage = DeltaRepairSchema()
+        if any(c == g.max_degree + 1 for c in oracle.values()):
+            with pytest.raises(InvalidAdvice):
+                stage.decode(g, {v: "" for v in g.nodes()}, oracle)
+
+
+class TestFullPipeline:
+    @pytest.mark.parametrize("delta", [3, 4, 5, 6])
+    def test_planted_instances(self, delta):
+        graph, _ = planted_delta_colorable(70, delta, seed=delta)
+        g = LocalGraph(graph, seed=delta + 1)
+        run = DeltaColoringSchema().run(g)
+        assert run.valid is True
+
+    def test_uses_at_most_delta_colors(self):
+        graph, _ = planted_delta_colorable(60, 4, seed=12)
+        g = LocalGraph(graph, seed=13)
+        schema = DeltaColoringSchema()
+        result = schema.decode(g, schema.encode(g))
+        assert max(result.labeling.values()) <= g.max_degree
+
+    def test_torus_is_four_colorable(self):
+        # Even torus is bipartite hence 4-colorable with Delta = 4.
+        g = LocalGraph(torus(6, 6), seed=14)
+        run = DeltaColoringSchema().run(g)
+        assert run.valid is True
+
+    def test_rounds_independent_of_n(self):
+        rounds = []
+        for n in (48, 96, 192):
+            graph, _ = planted_delta_colorable(n, 4, seed=15)
+            g = LocalGraph(graph, seed=16)
+            run = DeltaColoringSchema().run(g)
+            assert run.valid
+            rounds.append(run.rounds)
+        # Stage rounds vary only with the (n-independent) class counts.
+        assert max(rounds) <= min(rounds) + 6
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_random_instances_property(self, seed):
+        graph, _ = planted_delta_colorable(50, 4, seed=seed)
+        g = LocalGraph(graph, seed=seed)
+        run = DeltaColoringSchema().run(g)
+        assert run.valid is True
+
+
+class TestRepairStrategies:
+    """Lemma 6.7 shift vs exact ball repair (the A4 ablation's substance)."""
+
+    def _oracle(self, seed):
+        from repro.algorithms import coloring_from_ids, reduce_to_delta_plus_one
+
+        graph, _ = planted_delta_colorable(70, 4, seed=seed)
+        g = LocalGraph(graph, seed=seed + 40)
+        oracle, _ = reduce_to_delta_plus_one(g, coloring_from_ids(g))
+        return g, oracle
+
+    def test_ball_strategy_complete(self):
+        for seed in range(4):
+            g, oracle = self._oracle(seed)
+            stage = DeltaRepairSchema(strategy="ball")
+            result = stage.decode(g, stage.encode(g, oracle), oracle)
+            assert is_valid(vertex_coloring(g.max_degree), g, result.labeling)
+
+    def test_auto_strategy_complete(self):
+        for seed in range(4):
+            g, oracle = self._oracle(seed)
+            stage = DeltaRepairSchema(strategy="auto")
+            result = stage.decode(g, stage.encode(g, oracle), oracle)
+            assert is_valid(vertex_coloring(g.max_degree), g, result.labeling)
+
+    def test_shift_produces_valid_when_it_succeeds(self):
+        successes = 0
+        for seed in range(6):
+            g, oracle = self._oracle(seed)
+            stage = DeltaRepairSchema(strategy="shift")
+            try:
+                advice = stage.encode(g, oracle)
+            except Exception:
+                continue
+            result = stage.decode(g, advice, oracle)
+            assert is_valid(vertex_coloring(g.max_degree), g, result.labeling)
+            successes += 1
+        assert successes >= 3
+
+    def test_invalid_strategy_rejected(self):
+        from repro.advice import AdviceError
+
+        with pytest.raises(AdviceError):
+            DeltaRepairSchema(strategy="magic")

@@ -1,0 +1,192 @@
+"""Tests for the Section 4 LCL schemas on sub-exponential growth."""
+
+import pytest
+
+from repro.advice import AdviceError, ones_density
+from repro.graphs import cycle, grid
+from repro.lcl import (
+    is_valid,
+    maximal_independent_set,
+    vertex_coloring,
+)
+from repro.local import LocalGraph
+from repro.schemas import (
+    LCLSubexpSchema,
+    OneBitLCLSchema,
+    build_clustering,
+    pinned_nodes,
+)
+
+
+class TestClustering:
+    def test_clusters_partition_with_leftovers(self):
+        g = LocalGraph(cycle(120), seed=1)
+        clustering = build_clustering(g, x=6, r=1)
+        regions = clustering.regions()
+        covered = set().union(*regions) if regions else set()
+        assert covered == set(g.nodes())
+        # Regions are pairwise disjoint.
+        assert sum(len(r) for r in regions) == g.n
+
+    def test_small_graph_fully_unclustered(self):
+        g = LocalGraph(cycle(10), seed=2)
+        clustering = build_clustering(g, x=6, r=1)
+        assert not clustering.clusters
+        assert clustering.unclustered
+
+    def test_alpha_in_lemma_range(self):
+        g = LocalGraph(cycle(200), seed=3)
+        clustering = build_clustering(g, x=6, r=1)
+        assert clustering.clusters
+        for c in clustering.clusters:
+            assert 6 <= c.alpha <= 12
+
+    def test_x_too_small_rejected(self):
+        g = LocalGraph(cycle(30), seed=4)
+        with pytest.raises(AdviceError):
+            build_clustering(g, x=2, r=1)
+
+    def test_pinned_nodes_are_region_boundary(self):
+        g = LocalGraph(cycle(120), seed=5)
+        clustering = build_clustering(g, x=6, r=1)
+        owner = clustering.region_of()
+        pinned = pinned_nodes(g, clustering, 1)
+        for v in pinned:
+            assert any(
+                owner[u] != owner[v] for u in g.ball(v, 1)
+            )
+
+
+class TestVariableLengthSchema:
+    @pytest.mark.parametrize("n", [40, 120, 300])
+    def test_three_coloring_cycles(self, n):
+        g = LocalGraph(cycle(n), seed=n)
+        run = LCLSubexpSchema(vertex_coloring(3), x=6).run(g)
+        assert run.valid is True
+
+    def test_mis_on_grid(self):
+        g = LocalGraph(grid(9, 9), seed=6)
+        run = LCLSubexpSchema(maximal_independent_set(), x=4).run(g)
+        assert run.valid is True
+
+    def test_mis_on_cycle(self):
+        g = LocalGraph(cycle(150), seed=7)
+        run = LCLSubexpSchema(maximal_independent_set(), x=6).run(g)
+        assert run.valid is True
+
+    def test_unsolvable_instance_rejected(self):
+        g = LocalGraph(cycle(5), seed=8)
+        with pytest.raises(AdviceError):
+            LCLSubexpSchema(vertex_coloring(2), x=6).encode(g)
+
+    def test_provided_solution_used(self):
+        g = LocalGraph(cycle(40), seed=9)
+        solution = {v: 1 + v % 2 for v in g.nodes()}
+        run = LCLSubexpSchema(
+            vertex_coloring(2), x=6, solution=solution
+        ).run(g)
+        assert run.valid is True
+
+    def test_invalid_solution_rejected(self):
+        g = LocalGraph(cycle(40), seed=10)
+        bad = {v: 1 for v in g.nodes()}
+        with pytest.raises(AdviceError):
+            LCLSubexpSchema(vertex_coloring(2), x=6, solution=bad).encode(g)
+
+    def test_r_below_problem_radius_rejected(self):
+        with pytest.raises(AdviceError):
+            LCLSubexpSchema(vertex_coloring(3), x=6, r=0)
+
+    def test_rounds_bounded_independent_of_n(self):
+        # Decode rounds are at most (#phase colors) * O(x); the number of
+        # phase colors of a distance-30 coloring on a max-degree-2 graph is
+        # at most the ball size 61, for every n.  So rounds stay below a
+        # fixed f(Delta, x) bound while n grows.
+        x, r = 6, 1
+        bound = (2 * 5 * x + 1) * (2 * x + r + 2) + 4 * x + 10
+        for n in (150, 300, 600):
+            g = LocalGraph(cycle(n), seed=11)
+            run = LCLSubexpSchema(vertex_coloring(3), x=x).run(g)
+            assert run.valid
+            assert run.rounds <= bound
+
+
+class TestOneBitSchema:
+    def test_unclustered_regime(self):
+        g = LocalGraph(cycle(40), seed=12)
+        run = OneBitLCLSchema(vertex_coloring(3), x=24).run(g)
+        assert run.valid is True
+        assert run.schema_type == "uniform-fixed"
+        assert ones_density(g, run.advice) == 0.0
+
+    @pytest.mark.slow
+    def test_clustered_regime_sparse(self):
+        g = LocalGraph(cycle(1400), seed=13)
+        run = OneBitLCLSchema(vertex_coloring(3), x=100).run(g)
+        assert run.valid is True
+        assert run.beta == 1
+        assert ones_density(g, run.advice) < 0.15  # sparse!
+
+    @pytest.mark.slow
+    def test_clustered_mis(self):
+        g = LocalGraph(cycle(1300), seed=14)
+        run = OneBitLCLSchema(maximal_independent_set(), x=100).run(g)
+        assert run.valid is True
+
+    def test_x_too_small_for_code_rejected(self):
+        g = LocalGraph(cycle(400), seed=15)
+        with pytest.raises(AdviceError):
+            OneBitLCLSchema(vertex_coloring(3), x=12).encode(g)
+
+
+class TestOtherLCLsThroughTheSchema:
+    """Theorem 4.1 is problem-generic: feed further catalog LCLs through."""
+
+    def test_sinkless_orientation_on_torus(self):
+        from repro.graphs import torus
+        from repro.lcl import sinkless_orientation
+
+        g = LocalGraph(torus(8, 8), seed=31)
+        run = LCLSubexpSchema(sinkless_orientation(), x=4).run(g)
+        assert run.valid is True
+
+    def test_weak_coloring_on_cycle(self):
+        from repro.lcl import weak_coloring
+
+        g = LocalGraph(cycle(150), seed=32)
+        run = LCLSubexpSchema(weak_coloring(2), x=6).run(g)
+        assert run.valid is True
+
+    def test_maximal_matching_on_cycle(self):
+        from repro.lcl import maximal_matching
+
+        g = LocalGraph(cycle(120), seed=33)
+        run = LCLSubexpSchema(maximal_matching(), x=6).run(g)
+        assert run.valid is True
+
+
+class TestTriangularLattice:
+    """A denser sub-exponential-growth family (Delta = 6, odd cycles)."""
+
+    def test_three_coloring_triangular_grid(self):
+        from repro.graphs import triangular_grid
+
+        graph = triangular_grid(9, 9)
+        g = LocalGraph(graph, seed=35)
+        # Planted 3-coloring of the triangular lattice: (row + col) mod 3
+        # (all three edge directions change the value).
+        side = 9
+        solution = {v: 1 + ((v // side) + (v % side)) % 3 for v in g.nodes()}
+        run = LCLSubexpSchema(
+            vertex_coloring(3), x=4, solution=solution
+        ).run(g)
+        assert run.valid is True
+
+
+class TestHexGrid:
+    def test_mis_on_hex_grid(self):
+        from repro.graphs import hex_grid
+
+        g = LocalGraph(hex_grid(5, 5), seed=36)
+        run = LCLSubexpSchema(maximal_independent_set(), x=4).run(g)
+        assert run.valid is True

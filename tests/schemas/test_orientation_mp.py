@@ -1,0 +1,103 @@
+"""Tests for the probe/echo message-passing orientation protocol."""
+
+import pytest
+
+from repro.advice import InvalidAdvice
+from repro.graphs import caterpillar, cycle, disjoint_cycles, random_regular, torus
+from repro.lcl import balanced_orientation, is_valid
+from repro.local import LocalGraph
+from repro.schemas import BalancedOrientationSchema, run_orientation_protocol
+from repro.schemas.orientation_mp import _partner_id, decide_edge_orientation
+
+
+class TestPartnerId:
+    def test_pairing(self):
+        assert _partner_id([3, 7, 9, 12], 3) == 7
+        assert _partner_id([3, 7, 9, 12], 7) == 3
+        assert _partner_id([3, 7, 9, 12], 9) == 12
+
+    def test_odd_degree_last_unpaired(self):
+        assert _partner_id([3, 7, 9], 9) is None
+        assert _partner_id([5], 5) is None
+
+
+class TestProtocolAgreesWithViews:
+    @pytest.mark.parametrize(
+        "maker,walk_limit",
+        [
+            (lambda: cycle(100), 16),
+            (lambda: cycle(37), 16),
+            (lambda: torus(6, 6), 32),
+            (lambda: caterpillar(20, 2), 16),
+            (lambda: random_regular(40, 4, seed=2), 32),
+            (lambda: disjoint_cycles([5, 12, 40]), 16),
+        ],
+    )
+    def test_output_identical(self, maker, walk_limit):
+        g = LocalGraph(maker(), seed=3)
+        schema = BalancedOrientationSchema(walk_limit=walk_limit)
+        advice = schema.encode(g)
+        via_views = schema.decode(g, advice)
+        via_protocol = run_orientation_protocol(g, advice, walk_limit)
+        assert via_protocol.outputs == via_views.labeling
+
+    def test_protocol_output_is_valid_lcl(self):
+        g = LocalGraph(cycle(80), seed=4)
+        schema = BalancedOrientationSchema(walk_limit=16)
+        advice = schema.encode(g)
+        result = run_orientation_protocol(g, advice, 16)
+        assert is_valid(balanced_orientation(), g, result.outputs)
+
+    def test_round_count_linear_in_walk_limit(self):
+        g = LocalGraph(cycle(200), seed=5)
+        schema16 = BalancedOrientationSchema(walk_limit=16)
+        schema32 = BalancedOrientationSchema(walk_limit=32)
+        r16 = run_orientation_protocol(g, schema16.encode(g), 16).rounds
+        r32 = run_orientation_protocol(g, schema32.encode(g), 32).rounds
+        assert r16 == 2 * 16 + 4
+        assert r32 == 2 * 32 + 4
+
+    def test_rounds_independent_of_n(self):
+        rounds = set()
+        for n in (64, 256, 1024):
+            g = LocalGraph(cycle(n), seed=6)
+            schema = BalancedOrientationSchema(walk_limit=16)
+            rounds.add(run_orientation_protocol(g, schema.encode(g), 16).rounds)
+        assert len(rounds) == 1
+
+    def test_missing_advice_raises(self):
+        g = LocalGraph(cycle(100), seed=7)
+        with pytest.raises(InvalidAdvice):
+            run_orientation_protocol(g, {v: "" for v in g.nodes()}, 16)
+
+
+class TestDecisionFunction:
+    def test_closed_cycle_canonical(self):
+        # Cycle 1 -> 2 -> 3 -> 1: smallest edge {1,2} traversed 1 -> 2.
+        fwd = [(1, 2), (2, 3), (3, 1)]
+        assert decide_edge_orientation(1, 2, fwd, "closed", [], "?", {}, 16)
+
+    def test_closed_cycle_reversed(self):
+        fwd = [(2, 1), (1, 3), (3, 2)]
+        assert not decide_edge_orientation(2, 1, fwd, "closed", [], "?", {}, 16)
+
+    def test_open_trail_canonical(self):
+        fwd = [(5, 6), (6, 9)]
+        bwd = [(6, 5), (5, 2)]
+        # Full trail: 2 -> 5 -> 6 -> 9; endpoints 2 < 9 -> forward.
+        assert decide_edge_orientation(
+            5, 6, fwd, "endpoint", bwd, "endpoint", {}, 16
+        )
+
+    def test_anchor_in_forward_walk(self):
+        fwd = [(1, 2), (2, 3)]
+        advice = {2: "11", 3: "1"}  # anchor tail 2, head 3, oriented 2 -> 3
+        assert decide_edge_orientation(
+            1, 2, fwd, "truncated", [(2, 1)], "truncated", advice, 4
+        )
+
+    def test_no_anchor_raises(self):
+        with pytest.raises(InvalidAdvice):
+            decide_edge_orientation(
+                1, 2, [(1, 2)], "truncated", [(2, 1)], "truncated", {}, 4
+            )

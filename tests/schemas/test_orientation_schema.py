@@ -1,0 +1,200 @@
+"""Tests for the Section 5 balanced-orientation schemas."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.advice import AdviceError, InvalidAdvice, ones_density, sparsity_report
+from repro.advice.compose import check_composability
+from repro.algorithms import trail_decomposition
+from repro.graphs import (
+    caterpillar,
+    cycle,
+    disjoint_cycles,
+    even_degree_graph,
+    grid,
+    path,
+    random_regular,
+    torus,
+)
+from repro.local import LocalGraph
+from repro.schemas import (
+    BalancedOrientationSchema,
+    OneBitOrientationSchema,
+    place_anchors_greedy,
+    place_anchors_lll,
+    walk_from_edge,
+)
+
+
+class TestWalkFromEdge:
+    def test_closed_detection(self):
+        g = LocalGraph(cycle(8), seed=1)
+        edges, status = walk_from_edge(g, 0, 1, 20)
+        assert status == "closed"
+        assert len(edges) == 8
+
+    def test_endpoint_detection(self):
+        g = LocalGraph(path(6), seed=2)
+        edges, status = walk_from_edge(g, 1, 2, 20)
+        assert status == "endpoint"
+
+    def test_truncation(self):
+        g = LocalGraph(cycle(50), seed=3)
+        edges, status = walk_from_edge(g, 0, 1, 5)
+        assert status == "truncated"
+        assert len(edges) == 6
+
+
+class TestVariableLengthSchema:
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda: cycle(100),
+            lambda: torus(8, 8),
+            lambda: grid(9, 9),
+            lambda: caterpillar(40, 2),
+            lambda: even_degree_graph(80, seed=4),
+            lambda: random_regular(60, 6, seed=5),
+            lambda: disjoint_cycles([5, 30, 40]),
+        ],
+    )
+    def test_valid_across_families(self, maker):
+        g = LocalGraph(maker(), seed=11)
+        run = BalancedOrientationSchema(walk_limit=None).run(g)
+        assert run.valid is True
+        assert run.schema_type in ("variable", "uniform-fixed")
+        assert run.beta <= 2  # the paper's beta = 2
+
+    def test_reversed_direction_also_valid(self):
+        g = LocalGraph(cycle(80), seed=6)
+        run = BalancedOrientationSchema(
+            walk_limit=16, reverse_trails=True
+        ).run(g)
+        assert run.valid is True
+
+    def test_direction_bit_actually_flips_orientation(self):
+        g = LocalGraph(cycle(80), seed=7)
+        fwd = BalancedOrientationSchema(walk_limit=16)
+        rev = BalancedOrientationSchema(walk_limit=16, reverse_trails=True)
+        o1 = fwd.decode(g, fwd.encode(g)).detail["oriented_edges"]
+        o2 = rev.decode(g, rev.encode(g)).detail["oriented_edges"]
+        assert o1 == {(b, a) for (a, b) in o2}
+
+    def test_rounds_independent_of_n(self):
+        rounds = []
+        for n in (64, 256, 1024):
+            g = LocalGraph(cycle(n), seed=8)
+            run = BalancedOrientationSchema(walk_limit=16).run(g)
+            assert run.valid
+            rounds.append(run.rounds)
+        assert len(set(rounds)) == 1
+
+    def test_short_trails_need_no_advice(self):
+        g = LocalGraph(disjoint_cycles([4, 5, 6]), seed=9)
+        run = BalancedOrientationSchema(walk_limit=16).run(g)
+        assert run.valid
+        assert run.total_advice_bits == 0
+
+    def test_missing_anchor_detected(self):
+        g = LocalGraph(cycle(100), seed=10)
+        schema = BalancedOrientationSchema(walk_limit=16)
+        advice = schema.encode(g)
+        erased = {v: "" for v in g.nodes()}
+        with pytest.raises(InvalidAdvice):
+            schema.decode(g, erased)
+
+    def test_lll_placement_valid(self):
+        g = LocalGraph(cycle(120), seed=12)
+        run = BalancedOrientationSchema(
+            walk_limit=16, use_lll=True, seed=3
+        ).run(g)
+        assert run.valid is True
+
+    def test_composability_measurement(self):
+        # With large separation the advice satisfies Definition 3.4 with
+        # gamma0 = 2 (one anchor pair per ball).
+        g = LocalGraph(cycle(400), seed=13)
+        schema = BalancedOrientationSchema(
+            walk_limit=60, anchor_spacing=60, anchor_separation=24
+        )
+        advice = schema.encode(g)
+        assert check_composability(g, advice, alpha=10, gamma0=2, c=2.0, gamma=2)
+        assert schema.decode(g, advice) is not None
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_random_ids_property(self, seed):
+        g = LocalGraph(torus(6, 6), seed=seed)
+        run = BalancedOrientationSchema(walk_limit=16).run(g)
+        assert run.valid is True
+
+
+class TestOneBitSchema:
+    def test_cycle_one_bit(self):
+        g = LocalGraph(cycle(300), seed=1)
+        run = OneBitOrientationSchema(walk_limit=60).run(g)
+        assert run.valid is True
+        assert run.schema_type == "uniform-fixed"
+        assert run.beta == 1
+
+    def test_sparsity_improves_with_spacing(self):
+        g = LocalGraph(cycle(600), seed=2)
+        dense = OneBitOrientationSchema(walk_limit=60, anchor_spacing=32)
+        sparse = OneBitOrientationSchema(walk_limit=120, anchor_spacing=120)
+        d1 = ones_density(g, dense.encode(g))
+        d2 = ones_density(g, sparse.encode(g))
+        assert d2 < d1
+
+    def test_small_component_fallback(self):
+        # Components of diameter <= walk_limit decode canonically: no bits.
+        g = LocalGraph(grid(12, 12), seed=3)
+        run = OneBitOrientationSchema(walk_limit=100).run(g)
+        assert run.valid is True
+        assert ones_density(g, run.advice) == 0.0
+
+    def test_mixed_components(self):
+        g = LocalGraph(disjoint_cycles([10, 200]), seed=4)
+        run = OneBitOrientationSchema(walk_limit=60).run(g)
+        assert run.valid is True
+
+    def test_rounds_independent_of_n(self):
+        rounds = []
+        for n in (200, 400, 800):
+            g = LocalGraph(cycle(n), seed=5)
+            run = OneBitOrientationSchema(walk_limit=60).run(g)
+            assert run.valid
+            rounds.append(run.rounds)
+        assert len(set(rounds)) == 1
+
+
+class TestAnchorPlacement:
+    def test_greedy_respects_spacing_bounds(self):
+        g = LocalGraph(cycle(200), seed=6)
+        trails = trail_decomposition(g)
+        with pytest.raises(AdviceError):
+            place_anchors_greedy(g, trails, walk_limit=10, spacing=20)
+
+    def test_greedy_no_tail_adjacent_to_foreign_head(self):
+        g = LocalGraph(random_regular(60, 6, seed=7), seed=7)
+        trails = trail_decomposition(g)
+        anchors = place_anchors_greedy(g, trails, walk_limit=72, spacing=24)
+        tails = {a.tail for a in anchors}
+        heads = {a.head for a in anchors}
+        pair = {(a.tail, a.head) for a in anchors}
+        for t in tails:
+            for u in g.graph.neighbors(t):
+                if u in heads:
+                    assert (t, u) in pair
+
+    def test_lll_placement_separation(self):
+        g = LocalGraph(cycle(300), seed=8)
+        trails = trail_decomposition(g)
+        anchors = place_anchors_lll(
+            g, trails, walk_limit=60, spacing=60, separation=5, seed=9
+        )
+        nodes = [a.tail for a in anchors] + [a.head for a in anchors]
+        for i, u in enumerate(nodes):
+            for w in nodes[i + 1 :]:
+                if {u, w} in [{a.tail, a.head} for a in anchors]:
+                    continue  # same anchor pair may be adjacent
+                assert g.distance(u, w) > 1

@@ -1,0 +1,76 @@
+"""Tests for splitting and Delta-edge-coloring (Section 5 extensions)."""
+
+import pytest
+
+from repro.advice import AdviceError
+from repro.graphs import random_bipartite_regular, torus
+from repro.lcl import RED, edge_coloring, is_valid, splitting
+from repro.local import LocalGraph
+from repro.schemas import (
+    DeltaEdgeColoringSchema,
+    SplittingOracleSchema,
+    splitting_schema,
+)
+from repro.schemas.orientation import BalancedOrientationSchema
+from repro.schemas.two_coloring import TwoColoringSchema
+
+
+class TestSplitting:
+    @pytest.mark.parametrize("d", [2, 4, 6])
+    def test_bipartite_regular(self, d):
+        g = LocalGraph(random_bipartite_regular(16, d, seed=d), seed=1)
+        run = splitting_schema(spacing=6).run(g)
+        assert run.valid is True
+
+    def test_every_node_perfectly_split(self):
+        g = LocalGraph(random_bipartite_regular(12, 4, seed=2), seed=3)
+        schema = splitting_schema(spacing=6)
+        result = schema.decode(g, schema.encode(g))
+        for v in g.nodes():
+            reds = sum(1 for c in result.labeling[v] if c == RED)
+            assert reds * 2 == g.degree(v)
+
+    def test_oracle_schema_direct(self):
+        g = LocalGraph(random_bipartite_regular(10, 2, seed=4), seed=5)
+        two_coloring = TwoColoringSchema(spacing=5)
+        oracle = two_coloring.decode(g, two_coloring.encode(g)).labeling
+        oracle_schema = SplittingOracleSchema()
+        advice = oracle_schema.encode(g, oracle)
+        result = oracle_schema.decode(g, advice, oracle)
+        assert is_valid(splitting(), g, result.labeling)
+
+    def test_rounds_are_sum_of_stages(self):
+        g = LocalGraph(random_bipartite_regular(12, 4, seed=6), seed=7)
+        schema = splitting_schema(spacing=6)
+        result = schema.decode(g, schema.encode(g))
+        assert result.rounds == (
+            result.detail["first_rounds"] + result.detail["second_rounds"]
+        )
+
+
+class TestDeltaEdgeColoring:
+    @pytest.mark.parametrize("delta", [2, 4])
+    def test_power_of_two_regular(self, delta):
+        g = LocalGraph(
+            random_bipartite_regular(12, delta, seed=delta), seed=8
+        )
+        run = DeltaEdgeColoringSchema(spacing=6).run(g)
+        assert run.valid is True
+
+    def test_uses_exactly_delta_colors(self):
+        g = LocalGraph(random_bipartite_regular(12, 4, seed=9), seed=10)
+        schema = DeltaEdgeColoringSchema(spacing=6)
+        result = schema.decode(g, schema.encode(g))
+        colors = {c for label in result.labeling.values() for c in label}
+        assert colors == {1, 2, 3, 4}
+        assert is_valid(edge_coloring(4), g, result.labeling)
+
+    def test_rejects_non_power_of_two(self):
+        g = LocalGraph(random_bipartite_regular(12, 3, seed=11), seed=12)
+        with pytest.raises(AdviceError):
+            DeltaEdgeColoringSchema(spacing=6).encode(g)
+
+    def test_eight_regular(self):
+        g = LocalGraph(random_bipartite_regular(20, 8, seed=13), seed=14)
+        run = DeltaEdgeColoringSchema(spacing=6, walk_limit=32).run(g)
+        assert run.valid is True

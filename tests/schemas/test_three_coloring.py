@@ -1,0 +1,131 @@
+"""Tests for the Section 7 one-bit 3-coloring schema."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.advice import AdviceError, ones_density
+from repro.graphs import cycle, planted_three_colorable
+from repro.graphs.planted import three_color_caterpillar
+from repro.local import LocalGraph
+from repro.schemas import ThreeColoringSchema
+
+
+class TestSmallComponentRegime:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_planted_instances(self, seed):
+        graph, cert = planted_three_colorable(60, seed=seed)
+        g = LocalGraph(graph, seed=seed + 10)
+        run = ThreeColoringSchema(coloring=cert).run(g)
+        assert run.valid is True
+        assert run.schema_type == "uniform-fixed"
+        assert run.beta == 1
+
+    def test_odd_cycle(self):
+        g = LocalGraph(cycle(9), seed=4)
+        run = ThreeColoringSchema().run(g)  # exact solver path
+        assert run.valid is True
+
+    def test_even_cycle(self):
+        g = LocalGraph(cycle(12), seed=5)
+        run = ThreeColoringSchema().run(g)
+        assert run.valid is True
+
+    def test_improper_certificate_rejected(self):
+        graph, cert = planted_three_colorable(30, seed=6)
+        bad = dict(cert)
+        u, v = next(iter(graph.edges()))
+        bad[u] = bad[v]
+        g = LocalGraph(graph, seed=7)
+        with pytest.raises(AdviceError):
+            ThreeColoringSchema(coloring=bad).encode(g)
+
+
+class TestLargeComponentRegime:
+    def test_caterpillar(self):
+        graph, cert = three_color_caterpillar(200)
+        g = LocalGraph(graph, seed=8)
+        run = ThreeColoringSchema(coloring=cert).run(g)
+        assert run.valid is True
+
+    def test_group_bits_present(self):
+        graph, cert = three_color_caterpillar(250)
+        g = LocalGraph(graph, seed=9)
+        schema = ThreeColoringSchema(coloring=cert)
+        advice = schema.encode(g)
+        # color-1 nodes all carry 1; some extra group bits exist on the spine
+        ones = sum(1 for v in g.nodes() if advice[v] == "1")
+        color1 = sum(1 for v in g.nodes() if cert[v] == 1)
+        assert ones > color1
+
+    def test_type1_bits_recognizable(self):
+        graph, cert = three_color_caterpillar(200)
+        g = LocalGraph(graph, seed=10)
+        advice = ThreeColoringSchema(coloring=cert).encode(g)
+        for v in g.nodes():
+            one_nbrs = sum(
+                1 for u in g.graph.neighbors(v) if advice[u] == "1"
+            )
+            if cert[v] == 1:
+                assert advice[v] == "1" and one_nbrs <= 1
+            elif advice[v] == "1":
+                assert one_nbrs >= 2
+
+    def test_rounds_independent_of_n(self):
+        rounds = []
+        for m in (150, 300, 600):
+            graph, cert = three_color_caterpillar(m)
+            g = LocalGraph(graph, seed=11)
+            run = ThreeColoringSchema(coloring=cert).run(g)
+            assert run.valid
+            rounds.append(run.rounds)
+        assert len(set(rounds)) == 1
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(min_value=130, max_value=220))
+    def test_caterpillar_sizes_property(self, m):
+        graph, cert = three_color_caterpillar(m)
+        g = LocalGraph(graph, seed=m)
+        run = ThreeColoringSchema(coloring=cert).run(g)
+        assert run.valid is True
+
+
+class TestDensityConjecture:
+    def test_density_near_one_bit(self):
+        """The paper conjectures 3-coloring advice cannot be made sparse:
+        the ones-density is at least the color-1 class fraction."""
+        graph, cert = planted_three_colorable(90, seed=12)
+        g = LocalGraph(graph, seed=13)
+        run = ThreeColoringSchema(coloring=cert).run(g)
+        from repro.graphs import greedy_recolor
+
+        greedy = greedy_recolor(graph, cert)
+        color1_fraction = sum(1 for c in greedy.values() if c == 1) / g.n
+        assert ones_density(g, run.advice) >= color1_fraction
+        assert ones_density(g, run.advice) > 0.2  # far from sparse
+
+
+class TestLadderFamily:
+    """The G_{2,3} component is a 2xm ladder: branchier than a path."""
+
+    def test_ladder_valid(self):
+        from repro.graphs import three_color_ladder
+
+        graph, cert = three_color_ladder(130)
+        g = LocalGraph(graph, seed=20)
+        run = ThreeColoringSchema(coloring=cert).run(g)
+        assert run.valid is True
+        assert run.beta == 1
+
+    def test_ladder_rounds_flat(self):
+        # Both sizes sit in the large-component regime (diameter above the
+        # threshold), where the decode radius is a pure function of Delta.
+        from repro.graphs import three_color_ladder
+
+        rounds = set()
+        for m in (200, 400):
+            graph, cert = three_color_ladder(m)
+            g = LocalGraph(graph, seed=21)
+            run = ThreeColoringSchema(coloring=cert).run(g)
+            assert run.valid
+            rounds.add(run.rounds)
+        assert len(rounds) == 1

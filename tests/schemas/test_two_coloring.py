@@ -1,0 +1,119 @@
+"""Tests for the Pi_v 2-coloring schemas (Section 3.5 running example)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.advice import AdviceError, InvalidAdvice, ones_density
+from repro.graphs import cycle, grid, path, random_bipartite_regular
+from repro.local import LocalGraph
+from repro.schemas import OneBitTwoColoringSchema, TwoColoringSchema
+
+
+class TestTwoColoringSchema:
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda: cycle(30),
+            lambda: grid(7, 7),
+            lambda: path(25),
+            lambda: random_bipartite_regular(15, 3, seed=1),
+        ],
+    )
+    def test_valid_on_bipartite_families(self, maker):
+        g = LocalGraph(maker(), seed=2)
+        run = TwoColoringSchema(spacing=6).run(g)
+        assert run.valid is True
+        assert run.beta == 1
+
+    def test_rejects_odd_cycle(self):
+        g = LocalGraph(cycle(9), seed=3)
+        with pytest.raises(AdviceError):
+            TwoColoringSchema().encode(g)
+
+    def test_sparser_spacing_fewer_bits_more_rounds(self):
+        g = LocalGraph(cycle(200), seed=4)
+        tight = TwoColoringSchema(spacing=4).run(g)
+        loose = TwoColoringSchema(spacing=20).run(g)
+        assert loose.total_advice_bits < tight.total_advice_bits
+        assert loose.rounds > tight.rounds
+        assert tight.valid and loose.valid
+
+    def test_rounds_bounded_by_spacing(self):
+        g = LocalGraph(cycle(100), seed=5)
+        run = TwoColoringSchema(spacing=8).run(g)
+        assert run.rounds <= 8
+
+    def test_handles_multiple_components(self):
+        import networkx as nx
+
+        g = LocalGraph(nx.disjoint_union(cycle(10), grid(4, 4)), seed=6)
+        run = TwoColoringSchema(spacing=5).run(g)
+        assert run.valid is True
+
+    def test_missing_anchor_detected(self):
+        g = LocalGraph(cycle(40), seed=7)
+        schema = TwoColoringSchema(spacing=6)
+        with pytest.raises(InvalidAdvice):
+            schema.decode(g, {v: "" for v in g.nodes()})
+
+    def test_invalid_spacing_rejected(self):
+        with pytest.raises(AdviceError):
+            TwoColoringSchema(spacing=1)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=2, max_value=30))
+    def test_even_cycles_property(self, half):
+        g = LocalGraph(cycle(2 * half), seed=half)
+        run = TwoColoringSchema(spacing=5).run(g)
+        assert run.valid is True
+
+
+class TestOneBitTwoColoringSchema:
+    def test_valid_and_uniform(self):
+        g = LocalGraph(cycle(200), seed=1)
+        run = OneBitTwoColoringSchema().run(g)
+        assert run.valid is True
+        assert run.schema_type == "uniform-fixed"
+        assert run.beta == 1
+
+    def test_sparse_density(self):
+        g = LocalGraph(cycle(400), seed=2)
+        run = OneBitTwoColoringSchema(spacing=100).run(g)
+        assert run.valid
+        assert ones_density(g, run.advice) < 0.1
+
+    def test_spacing_floor_enforced(self):
+        schema = OneBitTwoColoringSchema(spacing=3)
+        assert schema.spacing >= 2 * OneBitTwoColoringSchema.WINDOW + 3
+
+
+class TestMessagePassingDecoder:
+    """The explicit synchronous decoder must match the view-based one."""
+
+    import pytest as _pytest
+
+    @_pytest.mark.parametrize("n,spacing", [(24, 6), (40, 8), (60, 10)])
+    def test_agrees_with_view_decoder(self, n, spacing):
+        from repro.local import run_message_passing
+        from repro.schemas import TwoColoringMessagePassing
+
+        g = LocalGraph(cycle(n), seed=n)
+        schema = TwoColoringSchema(spacing=spacing)
+        advice = schema.encode(g)
+        via_views = schema.decode(g, advice)
+        via_messages = run_message_passing(
+            g, lambda: TwoColoringMessagePassing(spacing), advice=advice
+        )
+        assert via_messages.outputs == via_views.labeling
+        assert via_messages.rounds == via_views.rounds
+
+    def test_no_anchor_raises(self):
+        from repro.advice import InvalidAdvice
+        from repro.local import run_message_passing
+        from repro.schemas import TwoColoringMessagePassing
+
+        g = LocalGraph(cycle(12), seed=1)
+        with self._pytest.raises(InvalidAdvice):
+            run_message_passing(
+                g, lambda: TwoColoringMessagePassing(4), advice={}
+            )
