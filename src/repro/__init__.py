@@ -23,6 +23,7 @@ from .core.api import (
     solve_with_advice,
 )
 from .local.graph import LocalGraph
+from .perf import SimStats
 
 __version__ = "1.0.0"
 
@@ -31,6 +32,7 @@ __all__ = [
     "DecodeResult",
     "LocalGraph",
     "SchemaRun",
+    "SimStats",
     "__version__",
     "available_schemas",
     "compress_edges",

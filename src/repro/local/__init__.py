@@ -1,6 +1,7 @@
 """LOCAL-model substrate: graphs, views, and execution engines."""
 
 from .algorithm import LocalityTracker
+from .compiled import CompiledGraph
 from .graph import LocalGraph, LocalGraphError, Node
 from .model import (
     GatherAlgorithm,
@@ -12,9 +13,16 @@ from .model import (
     run_message_passing,
     run_view_algorithm,
 )
-from .views import View, gather_view
+from .views import (
+    View,
+    gather_all_views,
+    gather_view,
+    is_marked_order_invariant,
+    mark_order_invariant,
+)
 
 __all__ = [
+    "CompiledGraph",
     "GatherAlgorithm",
     "LocalGraph",
     "LocalGraphError",
@@ -26,7 +34,10 @@ __all__ = [
     "RunResult",
     "SimulationError",
     "View",
+    "gather_all_views",
     "gather_view",
+    "is_marked_order_invariant",
+    "mark_order_invariant",
     "run_message_passing",
     "run_view_algorithm",
 ]

@@ -1,0 +1,247 @@
+"""Flat-array (CSR) adjacency backend for fast LOCAL simulation.
+
+:class:`LocalGraph` answers every query through networkx dicts and
+re-sorts neighbor lists on each ``neighbors()`` call.  That is fine for
+correctness but dominates simulation time: gathering all radius-``T``
+views is ``O(sum_v |B(v, T)|)`` integer work in the LOCAL model, yet the
+seed implementation paid dict hashing, dynamic dispatch, and an
+``O(d log d)`` sort per visited node.
+
+:class:`CompiledGraph` is a read-only snapshot in compressed-sparse-row
+form: nodes are renumbered to dense indices ``0..n-1`` and adjacency
+lives in two flat integer lists (``indptr``/``indices``).  Each row is
+sorted by neighbor *identifier*, so a row slice **is** the port
+numbering of the LOCAL model — ``indices[indptr[i] + p]`` is the
+neighbor behind port ``p``.  A parallel ``nbr_ids`` array makes
+``port_of`` a binary search instead of a linear scan, and a reusable
+distance scratch array lets thousands of BFS sweeps run without
+reallocating.
+
+:class:`LocalGraph` builds one lazily (first adjacency query) and keeps
+its public API unchanged; everything downstream inherits the speedup.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+Node = Hashable
+
+
+class CompiledGraph:
+    """CSR snapshot of a simple undirected graph with LOCAL-model ports.
+
+    Parameters
+    ----------
+    nodes:
+        Node objects in a fixed order; their position becomes the dense
+        index.
+    ids:
+        ``node -> identifier`` (distinct positive integers).
+    adjacency:
+        ``node -> iterable of neighbor nodes`` (any order; rows are
+        re-sorted by identifier here).
+    """
+
+    __slots__ = (
+        "n",
+        "m",
+        "nodes",
+        "index_of",
+        "ids",
+        "indptr",
+        "indices",
+        "nbr_ids",
+        "degrees",
+        "max_degree",
+        "_dist",
+    )
+
+    def __init__(
+        self,
+        nodes: Iterable[Node],
+        ids: Mapping[Node, int],
+        adjacency: Mapping[Node, Iterable[Node]],
+    ) -> None:
+        self.nodes: List[Node] = list(nodes)
+        n = len(self.nodes)
+        self.n = n
+        self.index_of: Dict[Node, int] = {v: i for i, v in enumerate(self.nodes)}
+        self.ids: List[int] = [int(ids[v]) for v in self.nodes]
+
+        indptr = [0] * (n + 1)
+        indices: List[int] = []
+        nbr_ids: List[int] = []
+        index_of = self.index_of
+        id_list = self.ids
+        for i, v in enumerate(self.nodes):
+            row = sorted((id_list[index_of[u]], index_of[u]) for u in adjacency[v])
+            for ident, j in row:
+                indices.append(j)
+                nbr_ids.append(ident)
+            indptr[i + 1] = len(indices)
+        self.indptr = indptr
+        self.indices = indices
+        self.nbr_ids = nbr_ids
+        self.m = len(indices) // 2
+        self.degrees: List[int] = [indptr[i + 1] - indptr[i] for i in range(n)]
+        self.max_degree: int = max(self.degrees, default=0)
+        # BFS scratch: -1 means "unvisited"; reset_scratch restores it.
+        self._dist: List[int] = [-1] * n
+
+    @classmethod
+    def from_local(cls, graph: "LocalGraph") -> "CompiledGraph":  # noqa: F821
+        """Snapshot a :class:`repro.local.graph.LocalGraph`."""
+        nx_graph = graph.graph
+        return cls(
+            graph.nodes(),
+            graph.ids(),
+            {v: list(nx_graph.neighbors(v)) for v in nx_graph.nodes()},
+        )
+
+    # -- index-level primitives (hot paths work on ints only) -----------------
+
+    def row(self, i: int) -> Tuple[int, int]:
+        """The ``(start, end)`` slice of node ``i``'s ports in ``indices``."""
+        return self.indptr[i], self.indptr[i + 1]
+
+    def neighbors_idx(self, i: int) -> List[int]:
+        return self.indices[self.indptr[i] : self.indptr[i + 1]]
+
+    def port_of_idx(self, i: int, j: int) -> int:
+        """Port of neighbor ``j`` at node ``i`` (binary search), or -1."""
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        target = self.ids[j]
+        k = bisect_left(self.nbr_ids, target, lo, hi)
+        if k < hi and self.indices[k] == j:
+            return k - lo
+        return -1
+
+    def bfs_fill(self, src: int, radius: Optional[int] = None) -> List[int]:
+        """BFS from ``src``; returns the visit order (non-decreasing distance).
+
+        On return ``self._dist[i]`` holds the hop distance of every visited
+        index ``i``.  The caller **must** call :meth:`reset_scratch` with the
+        returned order before the next sweep.
+        """
+        dist = self._dist
+        indptr, indices = self.indptr, self.indices
+        order = [src]
+        dist[src] = 0
+        head = 0
+        while head < len(order):
+            i = order[head]
+            head += 1
+            d = dist[i]
+            if radius is not None and d >= radius:
+                continue
+            d1 = d + 1
+            for k in range(indptr[i], indptr[i + 1]):
+                j = indices[k]
+                if dist[j] < 0:
+                    dist[j] = d1
+                    order.append(j)
+        return order
+
+    def reset_scratch(self, order: Iterable[int]) -> None:
+        dist = self._dist
+        for i in order:
+            dist[i] = -1
+
+    # -- node-level API (used by LocalGraph's thin wrappers) -------------------
+
+    def neighbors(self, v: Node) -> List[Node]:
+        """Neighbors of ``v`` in port (identifier) order."""
+        nodes = self.nodes
+        i = self.index_of[v]
+        return [nodes[j] for j in self.indices[self.indptr[i] : self.indptr[i + 1]]]
+
+    def port_of(self, v: Node, u: Node) -> int:
+        """0-based port of ``u`` at ``v``, or -1 if not adjacent."""
+        return self.port_of_idx(self.index_of[v], self.index_of[u])
+
+    def neighbor_at_port(self, v: Node, port: int) -> Optional[Node]:
+        i = self.index_of[v]
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        if not 0 <= port < hi - lo:
+            return None
+        return self.nodes[self.indices[lo + port]]
+
+    def degree(self, v: Node) -> int:
+        return self.degrees[self.index_of[v]]
+
+    def ball(self, v: Node, radius: int) -> List[Node]:
+        """Nodes within ``radius`` of ``v``, in BFS (distance) order."""
+        if radius < 0:
+            return []
+        order = self.bfs_fill(self.index_of[v], radius)
+        result = [self.nodes[i] for i in order]
+        self.reset_scratch(order)
+        return result
+
+    def bfs_layers(self, v: Node, radius: Optional[int] = None) -> Iterator[List[Node]]:
+        """Yield BFS layers ``N_{=0}(v), N_{=1}(v), ...`` up to ``radius``.
+
+        The visit order of :meth:`bfs_fill` has non-decreasing distance, so
+        layers are contiguous runs of the order array.
+        """
+        order = self.bfs_fill(self.index_of[v], radius)
+        dist = self._dist
+        nodes = self.nodes
+        layers: List[List[Node]] = []
+        current: List[Node] = []
+        current_d = 0
+        for i in order:
+            d = dist[i]
+            if d != current_d:
+                layers.append(current)
+                current = []
+                current_d = d
+            current.append(nodes[i])
+        layers.append(current)
+        self.reset_scratch(order)
+        return iter(layers)
+
+    def sphere(self, v: Node, radius: int) -> List[Node]:
+        if radius < 0:
+            return []
+        order = self.bfs_fill(self.index_of[v], radius)
+        dist = self._dist
+        result = [self.nodes[i] for i in order if dist[i] == radius]
+        self.reset_scratch(order)
+        return result
+
+    def distance(self, u: Node, v: Node) -> float:
+        """Hop distance (``inf`` when disconnected); early-exits at ``v``."""
+        if u == v:
+            return 0
+        src, dst = self.index_of[u], self.index_of[v]
+        dist = self._dist
+        indptr, indices = self.indptr, self.indices
+        order = [src]
+        dist[src] = 0
+        head = 0
+        found: float = float("inf")
+        while head < len(order):
+            i = order[head]
+            head += 1
+            d1 = dist[i] + 1
+            for k in range(indptr[i], indptr[i + 1]):
+                j = indices[k]
+                if dist[j] < 0:
+                    if j == dst:
+                        found = d1
+                        head = len(order)  # drain: stop the sweep
+                        dist[j] = d1
+                        order.append(j)
+                        break
+                    dist[j] = d1
+                    order.append(j)
+            if found != float("inf"):
+                break
+        self.reset_scratch(order)
+        return found
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CompiledGraph(n={self.n}, m={self.m}, max_degree={self.max_degree})"

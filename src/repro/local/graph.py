@@ -14,10 +14,12 @@ sorted by neighbor identifier), ball extraction, and distance queries.
 from __future__ import annotations
 
 import random
-from collections import deque
+from collections import OrderedDict
 from typing import Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
 
 import networkx as nx
+
+from .compiled import CompiledGraph
 
 Node = Hashable
 
@@ -72,7 +74,14 @@ class LocalGraph:
         self._id_of: Dict[Node, int] = {v: int(ids[v]) for v in self._nodes}
         self._node_of: Dict[int, Node] = {i: v for v, i in self._id_of.items()}
         self._inputs: Dict[Node, object] = dict(inputs) if inputs else {}
-        self._ball_cache: Dict[Tuple[Node, int], Tuple[Node, ...]] = {}
+        # Degrees and Delta are read inside inner simulation loops; compute
+        # them once here (the wrapped graph is treated as immutable).
+        self._degrees: Dict[Node, int] = {v: graph.degree(v) for v in self._nodes}
+        self._max_degree: int = max(self._degrees.values(), default=0)
+        self._compiled: Optional[CompiledGraph] = None
+        # LRU ball cache: bounded, evicts one-at-a-time (never wholesale).
+        self._ball_cache: "OrderedDict[Tuple[Node, int], Tuple[Node, ...]]" = OrderedDict()
+        self._ball_cache_limit: int = max(64, 4 * len(self._nodes))
 
     # -- construction helpers -------------------------------------------------
 
@@ -108,6 +117,18 @@ class LocalGraph:
         return self._graph
 
     @property
+    def compiled(self) -> CompiledGraph:
+        """The CSR backend (built lazily on first adjacency query).
+
+        All hot-path accessors (:meth:`neighbors`, :meth:`port_of`,
+        :meth:`ball`, :meth:`bfs_layers`, ...) route through this snapshot;
+        it assumes the wrapped networkx graph is not mutated afterwards.
+        """
+        if self._compiled is None:
+            self._compiled = CompiledGraph.from_local(self)
+        return self._compiled
+
+    @property
     def n(self) -> int:
         return self._graph.number_of_nodes()
 
@@ -118,9 +139,7 @@ class LocalGraph:
     @property
     def max_degree(self) -> int:
         """``Delta``: the maximum degree, known to every node up front."""
-        if self.n == 0:
-            return 0
-        return max(d for _, d in self._graph.degree())
+        return self._max_degree
 
     def nodes(self) -> List[Node]:
         return list(self._nodes)
@@ -129,7 +148,7 @@ class LocalGraph:
         return list(self._graph.edges())
 
     def degree(self, v: Node) -> int:
-        return self._graph.degree(v)
+        return self._degrees[v]
 
     def id_of(self, v: Node) -> int:
         return self._id_of[v]
@@ -150,40 +169,29 @@ class LocalGraph:
 
     def neighbors(self, v: Node) -> List[Node]:
         """Neighbors of ``v`` in increasing identifier order (port order)."""
-        return sorted(self._graph.neighbors(v), key=self._id_of.__getitem__)
+        return self.compiled.neighbors(v)
 
     def port_of(self, v: Node, u: Node) -> int:
         """Port index (0-based) of the edge ``{v, u}`` at ``v``."""
-        try:
-            return self.neighbors(v).index(u)
-        except ValueError:
-            raise LocalGraphError(f"{u!r} is not a neighbor of {v!r}") from None
+        compiled = self.compiled
+        if u not in compiled.index_of:
+            raise LocalGraphError(f"{u!r} is not a neighbor of {v!r}")
+        port = compiled.port_of(v, u)
+        if port < 0:
+            raise LocalGraphError(f"{u!r} is not a neighbor of {v!r}")
+        return port
 
     def neighbor_at_port(self, v: Node, port: int) -> Node:
-        nbrs = self.neighbors(v)
-        if not 0 <= port < len(nbrs):
+        u = self.compiled.neighbor_at_port(v, port)
+        if u is None:
             raise LocalGraphError(f"node {v!r} has no port {port}")
-        return nbrs[port]
+        return u
 
     # -- distances and balls ----------------------------------------------------
 
     def bfs_layers(self, v: Node, radius: Optional[int] = None) -> Iterator[List[Node]]:
         """Yield the BFS layers ``N_{=0}(v), N_{=1}(v), ...`` up to ``radius``."""
-        seen: Set[Node] = {v}
-        layer = [v]
-        dist = 0
-        while layer:
-            yield layer
-            if radius is not None and dist >= radius:
-                return
-            next_layer: List[Node] = []
-            for u in layer:
-                for w in self._graph.neighbors(u):
-                    if w not in seen:
-                        seen.add(w)
-                        next_layer.append(w)
-            layer = next_layer
-            dist += 1
+        return self.compiled.bfs_layers(v, radius)
 
     def ball(self, v: Node, radius: int) -> List[Node]:
         """``N_{<= radius}(v)``: all nodes within distance ``radius`` of ``v``."""
@@ -192,22 +200,21 @@ class LocalGraph:
         key = (v, radius)
         cached = self._ball_cache.get(key)
         if cached is None:
-            nodes = [u for layer in self.bfs_layers(v, radius) for u in layer]
-            cached = tuple(nodes)
-            # Bound the cache so long sweeps over many radii stay small.
-            if len(self._ball_cache) > 4 * self.n:
-                self._ball_cache.clear()
+            cached = tuple(self.compiled.ball(v, radius))
+            # Bounded LRU: evict the stalest entry, never the whole cache
+            # (a wholesale clear() mid-sweep rebuilt every ball from scratch).
+            while len(self._ball_cache) >= self._ball_cache_limit:
+                self._ball_cache.popitem(last=False)
             self._ball_cache[key] = cached
+        else:
+            self._ball_cache.move_to_end(key)
         return list(cached)
 
     def sphere(self, v: Node, radius: int) -> List[Node]:
         """``N_{= radius}(v)``: nodes at distance exactly ``radius`` from ``v``."""
         if radius < 0:
             return []
-        layers = list(self.bfs_layers(v, radius))
-        if len(layers) <= radius:
-            return []
-        return layers[radius]
+        return self.compiled.sphere(v, radius)
 
     def ball_subgraph(self, v: Node, radius: int) -> nx.Graph:
         """The subgraph induced by ``N_{<= radius}(v)``."""
@@ -215,19 +222,7 @@ class LocalGraph:
 
     def distance(self, u: Node, v: Node) -> float:
         """Hop distance between ``u`` and ``v`` (``inf`` if disconnected)."""
-        if u == v:
-            return 0
-        seen = {u}
-        frontier = deque([(u, 0)])
-        while frontier:
-            node, d = frontier.popleft()
-            for w in self._graph.neighbors(node):
-                if w == v:
-                    return d + 1
-                if w not in seen:
-                    seen.add(w)
-                    frontier.append((w, d + 1))
-        return float("inf")
+        return self.compiled.distance(u, v)
 
     def eccentricity_bounded(self, v: Node, bound: int) -> int:
         """Eccentricity of ``v`` within its component, capped at ``bound + 1``.

@@ -22,8 +22,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, List, Mapping, Optional
 
+from ..perf import SimStats
 from .graph import LocalGraph, Node
-from .views import View, gather_view
+from .views import View, gather_all_views, is_marked_order_invariant
 
 
 class SimulationError(RuntimeError):
@@ -42,10 +43,14 @@ class RunResult:
         Number of synchronous rounds consumed.  For view algorithms this is
         the gathering radius; for message passing it is the number of
         executed rounds until every node halted.
+    stats:
+        :class:`repro.perf.SimStats` counters/timers for the run (views
+        gathered, cache hits, BFS node-visits, per-phase wall time).
     """
 
     outputs: Dict[Node, object]
     rounds: int
+    stats: Optional[SimStats] = None
 
     def output_of(self, v: Node) -> object:
         return self.outputs[v]
@@ -80,14 +85,48 @@ def run_view_algorithm(
     radius: int,
     decide: ViewFunction,
     advice: Optional[Mapping[Node, str]] = None,
+    memoize: Optional[bool] = None,
 ) -> RunResult:
-    """Run the ``radius``-round view algorithm ``decide`` on every node."""
+    """Run the ``radius``-round view algorithm ``decide`` on every node.
+
+    Views are gathered for all nodes in one batched CSR sweep
+    (:func:`repro.local.views.gather_all_views`).  When ``memoize`` is true
+    — or ``decide`` was declared order-invariant via
+    :func:`repro.local.views.mark_order_invariant` — order-isomorphic views
+    are decided once and answered from a cache keyed on
+    :meth:`View.order_signature`, which is sound exactly for
+    order-invariant algorithms (Section 8: their output may depend only on
+    the relative identifier order in the view).  ``RunResult.stats``
+    reports views gathered, cache hits/misses, BFS node-visits, and
+    per-phase wall time.
+    """
     if radius < 0:
         raise SimulationError("radius must be non-negative")
-    outputs = {
-        v: decide(gather_view(graph, v, radius, advice=advice)) for v in graph.nodes()
-    }
-    return RunResult(outputs=outputs, rounds=radius)
+    if memoize is None:
+        memoize = is_marked_order_invariant(decide)
+    stats = SimStats()
+    with stats.phase("gather"):
+        views = gather_all_views(graph, radius, advice=advice, stats=stats)
+    outputs: Dict[Node, object] = {}
+    with stats.phase("decide"):
+        if memoize:
+            cache: Dict[object, object] = {}
+            for v, view in views.items():
+                key = view.order_signature()
+                if key in cache:
+                    stats.view_cache_hits += 1
+                    outputs[v] = cache[key]
+                else:
+                    stats.view_cache_misses += 1
+                    stats.decide_calls += 1
+                    result = decide(view)
+                    cache[key] = result
+                    outputs[v] = result
+        else:
+            for v, view in views.items():
+                stats.decide_calls += 1
+                outputs[v] = decide(view)
+    return RunResult(outputs=outputs, rounds=radius, stats=stats)
 
 
 # ---------------------------------------------------------------------------
@@ -153,8 +192,10 @@ def run_message_passing(
     advice = advice or {}
     n = graph.n
     delta = graph.max_degree
+    nodes = graph.nodes()
+    stats = SimStats()
     algos: Dict[Node, MessagePassingAlgorithm] = {}
-    for v in graph.nodes():
+    for v in nodes:
         algo = factory()
         algo.init(
             NodeContext(
@@ -169,30 +210,46 @@ def run_message_passing(
         )
         algos[v] = algo
 
-    rounds = 0
-    while not all(algo.halted for algo in algos.values()):
-        if rounds >= max_rounds:
-            raise SimulationError(f"no termination within {max_rounds} rounds")
-        outboxes = {
-            v: (algos[v].send(rounds) if not algos[v].halted else {})
-            for v in graph.nodes()
-        }
-        inboxes: Dict[Node, Dict[int, object]] = {v: {} for v in graph.nodes()}
-        for v in graph.nodes():
-            nbrs = graph.neighbors(v)
-            for port, message in outboxes[v].items():
-                if not 0 <= port < len(nbrs):
-                    raise SimulationError(f"node {v!r} sent on invalid port {port}")
-                u = nbrs[port]
-                inboxes[u][graph.port_of(u, v)] = message
-        if trace is not None:
-            trace.record_round(outboxes)
-        for v in graph.nodes():
-            if not algos[v].halted:
-                algos[v].receive(rounds, inboxes[v])
-        rounds += 1
+    # Precompute the port tables once: port-ordered neighbor lists plus, for
+    # each directed port (v, p) -> u, the reverse port of v at u.  The seed
+    # re-sorted neighbors and linearly scanned port_of per delivered message.
+    with stats.phase("compile-ports"):
+        compiled = graph.compiled
+        nbrs_at: Dict[Node, List[Node]] = {}
+        rev_port: Dict[Node, List[int]] = {}
+        for v in nodes:
+            nbrs = compiled.neighbors(v)
+            nbrs_at[v] = nbrs
+            rev_port[v] = [compiled.port_of(u, v) for u in nbrs]
 
-    return RunResult(outputs={v: a.output for v, a in algos.items()}, rounds=rounds)
+    rounds = 0
+    with stats.phase("rounds"):
+        while not all(algo.halted for algo in algos.values()):
+            if rounds >= max_rounds:
+                raise SimulationError(f"no termination within {max_rounds} rounds")
+            outboxes = {
+                v: (algos[v].send(rounds) if not algos[v].halted else {})
+                for v in nodes
+            }
+            inboxes: Dict[Node, Dict[int, object]] = {v: {} for v in nodes}
+            for v in nodes:
+                nbrs = nbrs_at[v]
+                back = rev_port[v]
+                for port, message in outboxes[v].items():
+                    if not 0 <= port < len(nbrs):
+                        raise SimulationError(f"node {v!r} sent on invalid port {port}")
+                    inboxes[nbrs[port]][back[port]] = message
+                    stats.messages_delivered += 1
+            if trace is not None:
+                trace.record_round(outboxes)
+            for v in nodes:
+                if not algos[v].halted:
+                    algos[v].receive(rounds, inboxes[v])
+            rounds += 1
+
+    return RunResult(
+        outputs={v: a.output for v, a in algos.items()}, rounds=rounds, stats=stats
+    )
 
 
 class MessageTrace:

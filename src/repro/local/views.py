@@ -79,15 +79,27 @@ class View:
     def has_edge(self, u: Node, v: Node) -> bool:
         return (u, v) in self.edges or (v, u) in self.edges
 
+    def _adjacency(self) -> Dict[Node, List[Node]]:
+        """Identifier-ordered adjacency of the visible edges, built once.
+
+        Cached outside the frozen dataclass fields (it is derived from
+        ``edges``/``ids``, so it does not participate in equality/hash).
+        """
+        adj = getattr(self, "_adj_cache", None)
+        if adj is None:
+            adj = {v: [] for v in self.nodes}
+            for a, b in self.edges:
+                adj[a].append(b)
+                adj[b].append(a)
+            ids = self.ids
+            for lst in adj.values():
+                lst.sort(key=ids.__getitem__)
+            object.__setattr__(self, "_adj_cache", adj)
+        return adj
+
     def neighbors(self, v: Node) -> List[Node]:
         """Neighbors of ``v`` visible in the view, in identifier order."""
-        found = set()
-        for a, b in self.edges:
-            if a == v:
-                found.add(b)
-            elif b == v:
-                found.add(a)
-        return sorted(found, key=lambda u: self.ids[u])
+        return list(self._adjacency().get(v, ()))
 
     def degree(self, v: Node) -> int:
         return len(self.neighbors(v))
@@ -130,11 +142,15 @@ class View:
         which order-invariant algorithms (Section 8) must behave
         identically.
         """
+        cached = getattr(self, "_sig_cache", None)
+        if cached is not None:
+            return cached
         order = self.nodes_sorted()
         rank = {v: i + 1 for i, v in enumerate(order)}
+        adj = self._adjacency()
         rows = []
         for v in order:
-            nbrs = tuple(sorted(rank[u] for u in self.neighbors(v)))
+            nbrs = tuple(sorted(rank[u] for u in adj.get(v, ())))
             rows.append(
                 (
                     rank[v],
@@ -144,7 +160,9 @@ class View:
                     nbrs,
                 )
             )
-        return (self.radius, rank[self.center], tuple(rows))
+        signature = (self.radius, rank[self.center], tuple(rows))
+        object.__setattr__(self, "_sig_cache", signature)
+        return signature
 
 
 def _freeze(value: object) -> object:
@@ -172,28 +190,107 @@ def gather_view(
     boundary sphere (those are invisible — neither endpoint's incident-edge
     list has reached the center in time).
     """
+    compiled = graph.compiled
+    return _view_from_compiled(
+        graph, compiled, compiled.index_of[center], radius, advice or {}, None
+    )
+
+
+def _view_from_compiled(
+    graph: LocalGraph,
+    compiled,
+    center_idx: int,
+    radius: int,
+    advice: Mapping[Node, str],
+    stats,
+) -> View:
+    """One integer-frontier sweep producing the :class:`View` of a node.
+
+    Works entirely on CSR indices and the reusable distance scratch; the
+    only per-node allocations are the output dicts of the view itself.
+    """
+    nodes_arr = compiled.nodes
+    ids_arr = compiled.ids
+    indptr, indices = compiled.indptr, compiled.indices
+    order = compiled.bfs_fill(center_idx, radius)
+    dist = compiled._dist
+
     distances: Dict[Node, int] = {}
-    for d, layer in enumerate(graph.bfs_layers(center, radius)):
-        for v in layer:
-            distances[v] = d
-    nodes = frozenset(distances)
+    ids: Dict[Node, int] = {}
+    for i in order:
+        v = nodes_arr[i]
+        distances[v] = dist[i]
+        ids[v] = ids_arr[i]
     edges = set()
-    for v in nodes:
-        if distances[v] >= radius:
+    for i in order:
+        if dist[i] >= radius:
             continue
-        for u in graph.graph.neighbors(v):
-            if u in nodes:
-                edges.add((v, u) if graph.id_of(v) < graph.id_of(u) else (u, v))
-    advice = advice or {}
+        vi = ids_arr[i]
+        v = nodes_arr[i]
+        for k in range(indptr[i], indptr[i + 1]):
+            j = indices[k]
+            if dist[j] >= 0:
+                u = nodes_arr[j]
+                edges.add((v, u) if vi < ids_arr[j] else (u, v))
+    compiled.reset_scratch(order)
+    if stats is not None:
+        stats.views_gathered += 1
+        stats.bfs_node_visits += len(order)
+
+    inputs = graph._inputs
     return View(
-        center=center,
+        center=nodes_arr[center_idx],
         radius=radius,
-        nodes=nodes,
+        nodes=frozenset(distances),
         edges=frozenset(edges),
-        ids={v: graph.id_of(v) for v in nodes},
-        inputs={v: graph.input_of(v) for v in nodes},
-        advice={v: advice.get(v, "") for v in nodes},
+        ids=ids,
+        inputs={v: inputs.get(v) for v in distances},
+        advice={v: advice.get(v, "") for v in distances},
         distances=distances,
         graph_n=graph.n,
         graph_max_degree=graph.max_degree,
     )
+
+
+def gather_all_views(
+    graph: LocalGraph,
+    radius: int,
+    advice: Optional[Mapping[Node, str]] = None,
+    stats=None,
+) -> Dict[Node, View]:
+    """Compute the radius-``radius`` view of **every** node in one sweep.
+
+    Equivalent to ``{v: gather_view(graph, v, radius, advice) for v in
+    graph.nodes()}`` (the test suite cross-checks exact :class:`View`
+    equality), but runs all BFS sweeps over the compiled CSR arrays with
+    shared scratch buffers instead of ``n`` independent networkx
+    traversals.  ``stats`` (a :class:`repro.perf.SimStats`) accumulates
+    views gathered and BFS node-visits when provided.
+    """
+    compiled = graph.compiled
+    advice = advice or {}
+    return {
+        compiled.nodes[i]: _view_from_compiled(
+            graph, compiled, i, radius, advice, stats
+        )
+        for i in range(compiled.n)
+    }
+
+
+def mark_order_invariant(decide):
+    """Declare a view-decision function order-invariant (Section 8).
+
+    Order-invariant functions depend only on the *relative* order of the
+    identifiers in the view, so order-isomorphic views (equal
+    :meth:`View.order_signature`) must get identical outputs — which lets
+    :func:`repro.local.run_view_algorithm` memoize decisions per signature.
+    Marking a function that is **not** order-invariant is unsound: the
+    memoized run may silently diverge from the plain one.
+    """
+    decide.order_invariant = True
+    return decide
+
+
+def is_marked_order_invariant(decide) -> bool:
+    """Whether ``decide`` was declared via :func:`mark_order_invariant`."""
+    return bool(getattr(decide, "order_invariant", False))

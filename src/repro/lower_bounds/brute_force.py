@@ -27,7 +27,7 @@ from ..lcl.problem import LCLProblem
 from ..lcl.verify import is_valid
 from ..local.graph import LocalGraph, Node
 from ..local.model import ViewFunction, run_view_algorithm
-from ..local.views import View
+from ..local.views import View, mark_order_invariant
 
 
 @dataclass
@@ -137,4 +137,8 @@ def parity_cycle_decoder(window: int) -> ViewFunction:
         return 1 if distance % 2 == 1 else 2
 
     decide.__name__ = f"parity_cycle_decoder[{window}]"
-    return decide
+    # The decoder compares identifiers only by order (min-id anchor), so it
+    # is order-invariant and the engine may memoize it per view signature —
+    # a large win for the 2^{beta n} search, which re-decodes the same few
+    # cycle neighborhoods under every advice assignment.
+    return mark_order_invariant(decide)

@@ -26,21 +26,23 @@ from typing import Callable, Dict, Hashable, List, Mapping, Optional, Tuple
 
 from ..local.graph import LocalGraph, Node
 from ..local.model import RunResult, ViewFunction, run_view_algorithm
-from ..local.views import View, gather_view
+from ..local.views import View, gather_all_views, mark_order_invariant
 
 
 def canonicalize(decide: ViewFunction) -> ViewFunction:
     """Wrap ``decide`` so it sees rank-canonical identifiers only.
 
     The wrapped algorithm is order-invariant: two order-isomorphic views
-    produce identical inputs to ``decide``.
+    produce identical inputs to ``decide``.  It is marked as such
+    (:func:`repro.local.mark_order_invariant`), so the simulation engine
+    memoizes it per order signature automatically.
     """
 
     def wrapped(view: View) -> object:
         return decide(view.canonical())
 
     wrapped.__name__ = f"order_invariant[{getattr(decide, '__name__', 'fn')}]"
-    return wrapped
+    return mark_order_invariant(wrapped)
 
 
 def is_order_invariant(
@@ -131,8 +133,7 @@ def build_lookup_table(
     if advice_per_graph is None:
         advice_per_graph = [None] * len(graphs)
     for graph, advice in zip(graphs, advice_per_graph):
-        for v in graph.nodes():
-            view = gather_view(graph, v, radius, advice=advice)
+        for view in gather_all_views(graph, radius, advice=advice).values():
             table.learn(view, decide(view))
     return table
 
@@ -143,5 +144,10 @@ def run_lookup_table(
     table: LookupTable,
     advice: Optional[Mapping[Node, str]] = None,
 ) -> RunResult:
-    """Execute a lookup table as a LOCAL algorithm."""
-    return run_view_algorithm(graph, radius, table.decide, advice=advice)
+    """Execute a lookup table as a LOCAL algorithm.
+
+    The table is order-invariant by construction (it is keyed on order
+    signatures), so the run opts into view memoization: order-isomorphic
+    views hit the engine's cache before the table is even consulted.
+    """
+    return run_view_algorithm(graph, radius, table.decide, advice=advice, memoize=True)

@@ -1,0 +1,123 @@
+"""Performance counters and timers for the simulation engine.
+
+Every run of the LOCAL engine (:func:`repro.local.run_view_algorithm`,
+:func:`repro.local.run_message_passing`) carries a :class:`SimStats`
+instance on ``RunResult.stats`` so speedups are *measured* rather than
+asserted: how many views were gathered, how many BFS node-visits they
+cost, how often the order-invariant view cache hit, and how wall time
+splits across the gather/decide phases.
+
+The counters are plain integers and the timers are ``perf_counter``
+deltas — cheap enough to stay on by default.  ``benchmarks/
+bench_simulation_core.py`` serializes them (via :meth:`SimStats.as_dict`)
+into its JSON report.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+
+@dataclass
+class SimStats:
+    """Counters and per-phase wall-clock timings of one simulation run.
+
+    Attributes
+    ----------
+    views_gathered:
+        Number of radius-``T`` views materialized.
+    view_cache_hits / view_cache_misses:
+        Order-invariant memoization outcomes (both stay 0 when the run is
+        not memoized).
+    bfs_node_visits:
+        Total nodes popped across all BFS sweeps — the work the LOCAL
+        model actually charges for, ``O(sum_v |B(v, T)|)``.
+    decide_calls:
+        How often the user's decision function actually ran; with a warm
+        view cache this is the number of *distinct* order-isomorphic
+        classes, not ``n``.
+    messages_delivered:
+        Messages routed by :func:`repro.local.run_message_passing`.
+    phase_seconds:
+        Wall time per named phase (``gather``, ``decide``, ``deliver``...).
+    """
+
+    views_gathered: int = 0
+    view_cache_hits: int = 0
+    view_cache_misses: int = 0
+    bfs_node_visits: int = 0
+    decide_calls: int = 0
+    messages_delivered: int = 0
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+
+    # -- timers ---------------------------------------------------------------
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a block and accumulate it under ``phase_seconds[name]``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + elapsed
+
+    # -- derived quantities ----------------------------------------------------
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of views answered from the order-invariant cache."""
+        total = self.view_cache_hits + self.view_cache_misses
+        if total == 0:
+            return 0.0
+        return self.view_cache_hits / total
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.phase_seconds.values())
+
+    # -- aggregation -----------------------------------------------------------
+
+    def merge(self, other: "SimStats") -> "SimStats":
+        """Accumulate ``other`` into ``self`` (returns ``self``)."""
+        self.views_gathered += other.views_gathered
+        self.view_cache_hits += other.view_cache_hits
+        self.view_cache_misses += other.view_cache_misses
+        self.bfs_node_visits += other.bfs_node_visits
+        self.decide_calls += other.decide_calls
+        self.messages_delivered += other.messages_delivered
+        for name, seconds in other.phase_seconds.items():
+            self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
+        return self
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot (used by the benchmark harness)."""
+        return {
+            "views_gathered": self.views_gathered,
+            "view_cache_hits": self.view_cache_hits,
+            "view_cache_misses": self.view_cache_misses,
+            "cache_hit_rate": round(self.cache_hit_rate, 6),
+            "bfs_node_visits": self.bfs_node_visits,
+            "decide_calls": self.decide_calls,
+            "messages_delivered": self.messages_delivered,
+            "phase_seconds": {k: round(v, 6) for k, v in self.phase_seconds.items()},
+            "total_seconds": round(self.total_seconds, 6),
+        }
+
+
+class Timer:
+    """A tiny reusable stopwatch: ``with Timer() as t: ...; t.seconds``."""
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.seconds = time.perf_counter() - self._start

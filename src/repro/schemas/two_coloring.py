@@ -28,7 +28,8 @@ from ..advice.schema import (
     InvalidAdvice,
 )
 from ..algorithms.ruling_set import greedy_ruling_set
-from ..local.model import MessagePassingAlgorithm
+from ..local.model import MessagePassingAlgorithm, run_view_algorithm
+from ..local.views import View, mark_order_invariant
 from ..lcl.catalog import vertex_coloring
 from ..local.algorithm import LocalityTracker
 from ..local.graph import LocalGraph, Node
@@ -81,29 +82,44 @@ class TwoColoringSchema(AdviceSchema):
         return advice
 
     def decode(self, graph: LocalGraph, advice: Mapping[Node, str]) -> DecodeResult:
-        tracker = LocalityTracker(graph)
-        labeling: Dict[Node, int] = {}
-        radius = self.spacing - 1
-        for v in graph.nodes():
-            anchor, distance = self._nearest_anchor(tracker, advice, v, radius)
-            color = 1 if advice[anchor] == "1" else 2
-            labeling[v] = color if distance % 2 == 0 else 3 - color
-        return DecodeResult(labeling=labeling, rounds=tracker.rounds)
+        """Decode as a memoized order-invariant view algorithm.
 
-    @staticmethod
-    def _nearest_anchor(
-        tracker: LocalityTracker,
-        advice: Mapping[Node, str],
-        v: Node,
-        radius: int,
-    ):
-        tracker.charge(radius)
-        graph = tracker.graph
-        for distance in range(radius + 1):
-            holders = [u for u in graph.sphere(v, distance) if advice.get(u, "")]
-            if holders:
-                return min(holders, key=graph.id_of), distance
-        raise InvalidAdvice(f"node {v!r}: no anchor within {radius} hops")
+        The per-node rule (nearest anchor, ties to the smaller identifier,
+        color by distance parity) compares identifiers only by order, so
+        order-isomorphic neighborhoods decode identically and the engine's
+        view-signature cache applies — on long paths and cycles almost
+        every interior node shares one of a handful of signatures.
+        """
+        radius = self.spacing - 1
+        result = run_view_algorithm(
+            graph, radius, mark_order_invariant(_nearest_anchor_color), advice=advice
+        )
+        return DecodeResult(
+            labeling=dict(result.outputs),
+            rounds=radius if graph.n else 0,
+            detail={"stats": result.stats.as_dict() if result.stats else {}},
+        )
+
+
+def _nearest_anchor_color(view: View) -> int:
+    """Color the view's center from the nearest advice-holding anchor.
+
+    Anchors at minimal distance tie-break toward the smaller identifier;
+    the color is the anchor's bit, flipped when the distance is odd.
+    """
+    best = None  # (distance, anchor id, anchor)
+    for v in view.nodes:
+        if view.advice_of(v):
+            key = (view.distance(v), view.id_of(v))
+            if best is None or key < best[:2]:
+                best = (key[0], key[1], v)
+    if best is None:
+        raise InvalidAdvice(
+            f"node {view.center!r}: no anchor within {view.radius} hops"
+        )
+    distance, _, anchor = best
+    color = 1 if view.advice_of(anchor) == "1" else 2
+    return color if distance % 2 == 0 else 3 - color
 
 
 class OneBitTwoColoringSchema(AdviceSchema):

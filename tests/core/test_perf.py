@@ -1,0 +1,50 @@
+"""Unit tests for the repro.perf counters/timers."""
+
+from repro.perf import SimStats, Timer
+
+
+class TestSimStats:
+    def test_defaults_and_hit_rate(self):
+        stats = SimStats()
+        assert stats.cache_hit_rate == 0.0
+        stats.view_cache_hits = 3
+        stats.view_cache_misses = 1
+        assert stats.cache_hit_rate == 0.75
+
+    def test_phase_timer_accumulates(self):
+        stats = SimStats()
+        with stats.phase("gather"):
+            pass
+        first = stats.phase_seconds["gather"]
+        with stats.phase("gather"):
+            pass
+        assert stats.phase_seconds["gather"] >= first
+        assert stats.total_seconds == sum(stats.phase_seconds.values())
+
+    def test_merge(self):
+        a = SimStats(views_gathered=2, bfs_node_visits=10)
+        a.phase_seconds["gather"] = 0.5
+        b = SimStats(views_gathered=3, view_cache_hits=4, decide_calls=1)
+        b.phase_seconds["gather"] = 0.25
+        b.phase_seconds["decide"] = 0.1
+        a.merge(b)
+        assert a.views_gathered == 5
+        assert a.view_cache_hits == 4
+        assert a.bfs_node_visits == 10
+        assert a.phase_seconds == {"gather": 0.75, "decide": 0.1}
+
+    def test_as_dict_is_json_ready(self):
+        import json
+
+        stats = SimStats(views_gathered=1)
+        with stats.phase("decide"):
+            pass
+        payload = json.dumps(stats.as_dict())
+        assert "views_gathered" in payload
+
+
+class TestTimer:
+    def test_records_elapsed(self):
+        with Timer() as t:
+            sum(range(1000))
+        assert t.seconds >= 0
