@@ -23,6 +23,14 @@ from .core.api import (
     solve_with_advice,
 )
 from .local.graph import LocalGraph
+from .obs import (
+    NULL_TRACER,
+    FailureReport,
+    JsonlSink,
+    MetricsRegistry,
+    RingSink,
+    Tracer,
+)
 from .perf import SimStats
 
 __version__ = "1.0.0"
@@ -30,9 +38,15 @@ __version__ = "1.0.0"
 __all__ = [
     "AdviceSchema",
     "DecodeResult",
+    "FailureReport",
+    "JsonlSink",
     "LocalGraph",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "RingSink",
     "SchemaRun",
     "SimStats",
+    "Tracer",
     "__version__",
     "available_schemas",
     "compress_edges",

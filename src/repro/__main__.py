@@ -2,17 +2,25 @@
 
 Without arguments, runs every registered schema on a suitable default
 instance and prints a one-line report per schema — a smoke test of the
-whole reproduction.  With a schema name, runs just that one.
+whole reproduction.  With a schema name, runs just that one.  ``--json``
+swaps the table for a machine-readable report (per-schema telemetry
+included) so CI and scripts can consume it.
+
+``python -m repro trace <schema> [--n N] [--seed S] [--out trace.jsonl]``
+runs one schema with tracing on: the full span/event stream lands in a
+JSONL file and a span-tree summary plus the telemetry is printed.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict, Optional, Tuple
 
 from .advice.schema import AdviceSchema, SchemaRun
 from .core.api import available_schemas, make_schema
+from .obs import JsonlSink, RingSink, Tracer, format_span_tree, load_jsonl
 from .graphs import (
     cycle,
     planted_delta_colorable,
@@ -56,16 +64,86 @@ def _default_instance(name: str, n: int, seed: int) -> Tuple[LocalGraph, Dict]:
     raise KeyError(name)
 
 
-def run_one(name: str, n: int, seed: int) -> SchemaRun:
+def run_one(
+    name: str, n: int, seed: int, tracer: Optional[Tracer] = None
+) -> SchemaRun:
     graph, kwargs = _default_instance(name, n, seed)
     schema = make_schema(name, **kwargs)
-    return schema.run(graph)
+    return schema.run(graph, tracer=tracer)
+
+
+def trace_main(argv: list) -> int:
+    """``python -m repro trace <schema>``: one traced run + JSONL dump."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="Run one schema with full tracing; write a JSONL trace.",
+    )
+    parser.add_argument("schema", choices=available_schemas())
+    parser.add_argument("--n", type=int, default=120, help="instance size hint")
+    parser.add_argument("--seed", type=int, default=0, help="identifier seed")
+    parser.add_argument(
+        "--out", default=None, help="trace file (default: trace-<schema>.jsonl)"
+    )
+    args = parser.parse_args(argv)
+
+    out = args.out or f"trace-{args.schema}.jsonl"
+    ring = RingSink(capacity=65536)
+    sink = JsonlSink(out)
+    tracer = Tracer(ring, sink)
+    try:
+        run = run_one(args.schema, args.n, args.seed, tracer=tracer)
+    except Exception as exc:
+        tracer.close()
+        print(f"{args.schema}: ERROR {type(exc).__name__}: {exc}")
+        report = getattr(exc, "failure_report", None)
+        if report is not None:
+            print(report.summary())
+        print(f"wrote {out} ({len(load_jsonl(out))} records)")
+        return 1
+    tracer.close()
+
+    records = load_jsonl(out)
+    print(f"== trace: {args.schema} (n={run.n}, seed={args.seed})")
+    print(format_span_tree(records))
+    events = sum(1 for r in records if r.get("kind") == "event")
+    print(f"\n{len(records)} records ({events} events) -> {out}")
+    print("\n== telemetry")
+    for key in (
+        "beta", "rounds", "bits_per_node", "total_advice_bits", "schema_type",
+        "views_gathered", "bfs_node_visits", "decide_calls", "cache_hit_rate",
+    ):
+        print(f"{key:20s} {run.telemetry.get(key)}")
+    if run.failures:
+        print("\n== failures")
+        for report in run.failures:
+            print(report.summary())
+    return 0 if run.valid else 1
+
+
+def _json_record(name: str, run: SchemaRun) -> Dict[str, object]:
+    return {
+        "schema": name,
+        "valid": run.valid,
+        "rounds": run.rounds,
+        "beta": run.beta,
+        "bits_per_node": round(run.bits_per_node, 6),
+        "schema_type": run.schema_type,
+        "n": run.n,
+        "max_degree": run.max_degree,
+        "telemetry": run.telemetry,
+        "failures": [r.as_dict() for r in run.failures],
+    }
 
 
 def main(argv: Optional[list] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Run the paper's advice schemas on demo instances.",
+        description="Run the paper's advice schemas on demo instances "
+        "(see also: python -m repro trace <schema>).",
     )
     parser.add_argument(
         "schema",
@@ -75,25 +153,49 @@ def main(argv: Optional[list] = None) -> int:
     )
     parser.add_argument("--n", type=int, default=120, help="instance size hint")
     parser.add_argument("--seed", type=int, default=0, help="identifier seed")
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable JSON report instead of the table",
+    )
     args = parser.parse_args(argv)
 
     names = [args.schema] if args.schema else available_schemas()
-    header = f"{'schema':24s} {'valid':6s} {'rounds':>6s} {'beta':>4s} {'bits/node':>10s}"
-    print(header)
-    print("-" * len(header))
     failures = 0
+    records = []
+    header = f"{'schema':24s} {'valid':6s} {'rounds':>6s} {'beta':>4s} {'bits/node':>10s}"
+    if not args.json:
+        print(header)
+        print("-" * len(header))
     for name in names:
         try:
             run = run_one(name, args.n, args.seed)
         except Exception as exc:  # pragma: no cover - surfaced to the user
             failures += 1
-            print(f"{name:24s} ERROR  {type(exc).__name__}: {exc}")
+            if args.json:
+                records.append(
+                    {"schema": name, "valid": False,
+                     "error": f"{type(exc).__name__}: {exc}"}
+                )
+            else:
+                print(f"{name:24s} ERROR  {type(exc).__name__}: {exc}")
             continue
         if not run.valid:
             failures += 1
+        if args.json:
+            records.append(_json_record(name, run))
+            continue
         print(
             f"{name:24s} {str(run.valid):6s} {run.rounds:6d} {run.beta:4d} "
             f"{run.bits_per_node:10.3f}"
+        )
+    if args.json:
+        print(
+            json.dumps(
+                {"n": args.n, "seed": args.seed, "schemas": records},
+                indent=2,
+                default=repr,
+            )
         )
     return 1 if failures else 0
 

@@ -27,7 +27,7 @@ from ..algorithms.bfs import path_at_distance
 from ..local.algorithm import LocalityTracker
 from ..local.graph import LocalGraph, Node
 from .bitstream import encode_payload, try_decode_stream
-from .schema import AdviceError, AdviceMap
+from .schema import AdviceError, AdviceMap, AdviceSchema
 
 
 @dataclass
@@ -211,7 +211,7 @@ def decode_all(
     return out
 
 
-class OneBitConversion:
+class OneBitConversion(AdviceSchema):
     """Lemma 9.2 as a generic wrapper: variable-length schema -> 1 bit/node.
 
     Wraps any :class:`~repro.advice.schema.AdviceSchema` whose encoder
@@ -228,8 +228,6 @@ class OneBitConversion:
     """
 
     def __init__(self, inner, window: Optional[int] = None) -> None:
-        from .schema import AdviceSchema  # local import to avoid a cycle
-
         if not isinstance(inner, AdviceSchema):
             raise TypeError("OneBitConversion wraps an AdviceSchema")
         self.inner = inner
@@ -262,10 +260,8 @@ class OneBitConversion:
         result.rounds += window
         return result
 
-    def run(self, graph: LocalGraph, check: bool = True):
-        from .schema import AdviceSchema
-
-        return AdviceSchema.run(self, graph, check=check)
-
     def check_solution(self, graph: LocalGraph, labeling) -> bool:
         return self.inner.check_solution(graph, labeling)
+
+    def find_violations(self, graph: LocalGraph, labeling):
+        return self.inner.find_violations(graph, labeling)

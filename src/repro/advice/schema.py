@@ -20,18 +20,34 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Mapping, Optional
+from typing import Callable, Dict, List, Mapping, Optional
 
 from ..lcl.problem import Label, LCLProblem
 from ..lcl.verify import violations
 from ..local.algorithm import LocalityTracker
 from ..local.graph import LocalGraph, Node
+from ..obs.failure import (
+    FailureReport,
+    build_error_report,
+    build_violation_reports,
+)
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import NULL_TRACER, Tracer
+from ..perf import SimStats
 
 AdviceMap = Dict[Node, str]
 
 
 class AdviceError(RuntimeError):
-    """Raised when encoding is impossible or decoding detects corruption."""
+    """Raised when encoding is impossible or decoding detects corruption.
+
+    Raisers that know *which* node failed pass it as ``node=`` so failure
+    attribution (:mod:`repro.obs.failure`) can pinpoint it in the report.
+    """
+
+    def __init__(self, *args: object, node: object = None) -> None:
+        super().__init__(*args)
+        self.node = node
 
 
 class InvalidAdvice(AdviceError):
@@ -70,16 +86,29 @@ def total_bits(graph: LocalGraph, advice: Mapping[Node, str]) -> int:
 
 @dataclass
 class DecodeResult:
-    """Output of a schema decoder: the solution plus its locality cost."""
+    """Output of a schema decoder: the solution plus its locality cost.
+
+    Decoders built on the simulation engine also hand back the engine's
+    :class:`~repro.perf.SimStats` so the counters survive into
+    ``SchemaRun.telemetry`` instead of dying at ``RunResult``.
+    """
 
     labeling: Dict[Node, Label]
     rounds: int
     detail: Dict[str, object] = field(default_factory=dict)
+    stats: Optional[SimStats] = None
 
 
 @dataclass
 class SchemaRun:
-    """Full encode→decode→verify record (what the benchmarks report)."""
+    """Full encode→decode→verify record (what the benchmarks report).
+
+    ``telemetry`` merges the engine's :class:`~repro.perf.SimStats`
+    counters with the per-run metrics snapshot (β, rounds, bits per node,
+    cache hit rate, violations — see :mod:`repro.obs.metrics`);
+    ``failures`` holds one :class:`~repro.obs.FailureReport` per violating
+    node when verification rejects the decoded labeling.
+    """
 
     schema_name: str
     advice: AdviceMap
@@ -90,6 +119,8 @@ class SchemaRun:
     n: int
     max_degree: int
     valid: Optional[bool] = None
+    telemetry: Dict[str, object] = field(default_factory=dict)
+    failures: List[FailureReport] = field(default_factory=list)
 
     @property
     def bits_per_node(self) -> float:
@@ -111,6 +142,9 @@ class AdviceSchema(abc.ABC):
     name: str = "advice-schema"
     #: the LCL (or predicate) the schema solves, when applicable
     problem: Optional[LCLProblem] = None
+    #: tracer of the run in flight (set by :meth:`run`); subclasses emit
+    #: targeted events through :attr:`tracer` without changing signatures
+    _active_tracer: Optional[Tracer] = None
 
     @abc.abstractmethod
     def encode(self, graph: LocalGraph) -> AdviceMap:
@@ -120,26 +154,152 @@ class AdviceSchema(abc.ABC):
     def decode(self, graph: LocalGraph, advice: Mapping[Node, str]) -> DecodeResult:
         """Recover a solution from the labeled graph (LOCAL algorithm)."""
 
+    # -- observability -------------------------------------------------------
+
+    @property
+    def tracer(self) -> Tracer:
+        """The tracer of the ongoing :meth:`run` (no-op outside one).
+
+        ``encode``/``decode`` implementations emit schema-specific events
+        via ``self.tracer.event(...)`` — guarded by ``self.tracer.enabled``
+        when the payload is costly to build — and the base class wraps the
+        calls themselves in ``encode``/``decode``/``verify`` spans.
+        """
+        return self._active_tracer or NULL_TRACER
+
+    def find_violations(
+        self, graph: LocalGraph, labeling: Mapping[Node, Label]
+    ) -> List[Node]:
+        """Nodes violating the solution, for failure attribution.
+
+        Defaults to the attached LCL's per-node check; schemas whose
+        :meth:`check_solution` tests a non-LCL predicate should override
+        this too if they want per-node attribution.
+        """
+        if self.problem is None:
+            return []
+        return violations(self.problem, graph, labeling)
+
     # -- common driver -------------------------------------------------------
 
-    def run(self, graph: LocalGraph, check: bool = True) -> SchemaRun:
-        """Encode, decode, and (optionally) verify on ``graph``."""
-        advice = self.encode(graph)
-        validate_advice_map(graph, advice)
-        result = self.decode(graph, advice)
-        run = SchemaRun(
-            schema_name=self.name,
-            advice=advice,
-            result=result,
-            schema_type=classify_schema_type(graph, advice),
-            beta=beta_of(graph, advice),
-            total_advice_bits=total_bits(graph, advice),
-            n=graph.n,
-            max_degree=graph.max_degree,
+    def run(
+        self,
+        graph: LocalGraph,
+        check: bool = True,
+        tracer: Optional[Tracer] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> SchemaRun:
+        """Encode, decode, and (optionally) verify on ``graph``.
+
+        With a ``tracer``, the run emits the span tree
+        ``schema_run → encode / decode (→ gather/decide) / verify``; with
+        (or without) a ``registry``, ``SchemaRun.telemetry`` captures the
+        paper's observables for the run.  A decoder exception gains a
+        ``failure_report`` attribute before propagating; an invalid
+        labeling populates ``SchemaRun.failures``.
+        """
+        tracer = tracer if tracer is not None else NULL_TRACER
+        registry = registry if registry is not None else MetricsRegistry()
+        previous = self._active_tracer
+        self._active_tracer = tracer
+        try:
+            with tracer.span("schema_run", schema=self.name, n=graph.n) as run_span:
+                with tracer.span("encode", schema=self.name) as encode_span:
+                    advice = self.encode(graph)
+                    if tracer.enabled:
+                        encode_span.set(total_bits=total_bits(graph, advice))
+                validate_advice_map(graph, advice)
+                with tracer.span("decode", schema=self.name) as decode_span:
+                    try:
+                        result = self.decode(graph, advice)
+                    except AdviceError as exc:
+                        registry.counter("decode_errors_total").inc()
+                        exc.failure_report = build_error_report(
+                            self.name, graph, advice, exc, ring=tracer.ring()
+                        )
+                        raise
+                    decode_span.set(rounds=result.rounds)
+                run = SchemaRun(
+                    schema_name=self.name,
+                    advice=advice,
+                    result=result,
+                    schema_type=classify_schema_type(graph, advice),
+                    beta=beta_of(graph, advice),
+                    total_advice_bits=total_bits(graph, advice),
+                    n=graph.n,
+                    max_degree=graph.max_degree,
+                )
+                violations_total = registry.counter("violations_total")
+                if check:
+                    with tracer.span("verify", schema=self.name) as verify_span:
+                        run.valid = self.check_solution(graph, result.labeling)
+                        if not run.valid:
+                            bad = self.find_violations(graph, result.labeling)
+                            violations_total.inc(len(bad))
+                            run.failures = build_violation_reports(
+                                self.name,
+                                graph,
+                                advice,
+                                result.labeling,
+                                bad,
+                                result.rounds,
+                                ring=tracer.ring(),
+                            )
+                        verify_span.set(
+                            valid=run.valid, violations=len(run.failures)
+                        )
+                run.telemetry = self._build_telemetry(run, registry)
+                if tracer.enabled:
+                    run_span.set(
+                        valid=run.valid,
+                        beta=run.beta,
+                        rounds=run.rounds,
+                        bits_per_node=round(run.bits_per_node, 6),
+                    )
+            return run
+        finally:
+            self._active_tracer = previous
+
+    def _build_telemetry(
+        self, run: SchemaRun, registry: MetricsRegistry
+    ) -> Dict[str, object]:
+        """Merge engine counters with the metrics snapshot (Def. 3.2 footprint)."""
+        stats = run.result.stats
+        if stats is None:
+            detail_stats = (
+                run.result.detail.get("stats")
+                if isinstance(run.result.detail, dict)
+                else None
+            )
+            stats_dict = (
+                dict(detail_stats)
+                if isinstance(detail_stats, dict) and detail_stats
+                else SimStats().as_dict()
+            )
+        else:
+            stats_dict = stats.as_dict()
+        registry.gauge("beta").set(run.beta)
+        registry.gauge("rounds").set(run.rounds)
+        registry.gauge("advice_total_bits").set(run.total_advice_bits)
+        hist = registry.histogram("advice_bits_per_node")
+        for bits in run.advice.values():
+            hist.observe(len(bits))
+        for _ in range(run.n - len(run.advice)):
+            hist.observe(0)  # nodes absent from the map carry no advice
+        registry.merge_stats(stats_dict)
+        telemetry: Dict[str, object] = dict(stats_dict)
+        telemetry.update(registry.snapshot())
+        telemetry.update(
+            beta=run.beta,
+            rounds=run.rounds,
+            bits_per_node=run.bits_per_node,
+            total_advice_bits=run.total_advice_bits,
+            schema_type=run.schema_type,
+            n=run.n,
+            max_degree=run.max_degree,
+            cache_hit_rate=stats_dict.get("cache_hit_rate", 0.0),
         )
-        if check:
-            run.valid = self.check_solution(graph, result.labeling)
-        return run
+        return telemetry
 
     def check_solution(self, graph: LocalGraph, labeling: Mapping[Node, Label]) -> bool:
         """Validity check; defaults to the attached LCL's local checks."""

@@ -20,6 +20,8 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..advice.schema import AdviceSchema, SchemaRun
 from ..local.graph import LocalGraph, Node
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import Tracer
 from ..schemas.decompression import (
     CompressedEdgeSet,
     DecompressionResult,
@@ -65,14 +67,25 @@ def make_schema(name: str, **kwargs: object) -> AdviceSchema:
 
 
 def solve_with_advice(
-    schema: "str | AdviceSchema", graph: LocalGraph, check: bool = True, **kwargs: object
+    schema: "str | AdviceSchema",
+    graph: LocalGraph,
+    check: bool = True,
+    tracer: Optional[Tracer] = None,
+    registry: Optional[MetricsRegistry] = None,
+    **kwargs: object,
 ) -> SchemaRun:
-    """Encode, decode, and verify a schema on ``graph`` in one call."""
+    """Encode, decode, and verify a schema on ``graph`` in one call.
+
+    ``tracer`` and ``registry`` (see :mod:`repro.obs`) flow into
+    :meth:`AdviceSchema.run`; either way the returned run carries
+    ``telemetry`` with the engine counters and the paper's observables, so
+    callers no longer lose ``RunResult.stats`` at this boundary.
+    """
     if isinstance(schema, str):
         schema = make_schema(schema, **kwargs)
     elif kwargs:
         raise TypeError("kwargs are only accepted with a schema name")
-    return schema.run(graph, check=check)
+    return schema.run(graph, check=check, tracer=tracer, registry=registry)
 
 
 def compress_edges(

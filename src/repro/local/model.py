@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, List, Mapping, Optional
 
+from ..obs.trace import NULL_TRACER
 from ..perf import SimStats
 from .graph import LocalGraph, Node
 from .views import View, gather_all_views, is_marked_order_invariant
@@ -86,6 +87,7 @@ def run_view_algorithm(
     decide: ViewFunction,
     advice: Optional[Mapping[Node, str]] = None,
     memoize: Optional[bool] = None,
+    tracer=None,
 ) -> RunResult:
     """Run the ``radius``-round view algorithm ``decide`` on every node.
 
@@ -104,28 +106,44 @@ def run_view_algorithm(
         raise SimulationError("radius must be non-negative")
     if memoize is None:
         memoize = is_marked_order_invariant(decide)
+    if tracer is None:
+        tracer = NULL_TRACER
+    tracing = tracer.enabled
     stats = SimStats()
-    with stats.phase("gather"):
-        views = gather_all_views(graph, radius, advice=advice, stats=stats)
-    outputs: Dict[Node, object] = {}
-    with stats.phase("decide"):
-        if memoize:
-            cache: Dict[object, object] = {}
-            for v, view in views.items():
-                key = view.order_signature()
-                if key in cache:
-                    stats.view_cache_hits += 1
-                    outputs[v] = cache[key]
-                else:
-                    stats.view_cache_misses += 1
+    with tracer.span(
+        "run_view_algorithm", radius=radius, n=graph.n, memoize=bool(memoize)
+    ) as run_span:
+        with stats.phase("gather"):
+            views = gather_all_views(
+                graph, radius, advice=advice, stats=stats, tracer=tracer
+            )
+        outputs: Dict[Node, object] = {}
+        with tracer.span("decide", n=len(views)), stats.phase("decide"):
+            if memoize:
+                cache: Dict[object, object] = {}
+                for v, view in views.items():
+                    key = view.order_signature()
+                    if key in cache:
+                        stats.view_cache_hits += 1
+                        outputs[v] = cache[key]
+                        if tracing:
+                            tracer.event("decide", node=v, cached=True)
+                    else:
+                        stats.view_cache_misses += 1
+                        stats.decide_calls += 1
+                        result = decide(view)
+                        cache[key] = result
+                        outputs[v] = result
+                        if tracing:
+                            tracer.event("decide", node=v, cached=False)
+            else:
+                for v, view in views.items():
                     stats.decide_calls += 1
-                    result = decide(view)
-                    cache[key] = result
-                    outputs[v] = result
-        else:
-            for v, view in views.items():
-                stats.decide_calls += 1
-                outputs[v] = decide(view)
+                    outputs[v] = decide(view)
+                    if tracing:
+                        tracer.event("decide", node=v, cached=False)
+        if tracing:
+            run_span.set(**stats.as_dict())
     return RunResult(outputs=outputs, rounds=radius, stats=stats)
 
 
@@ -181,71 +199,93 @@ def run_message_passing(
     advice: Optional[Mapping[Node, str]] = None,
     max_rounds: int = 10_000,
     trace: Optional["MessageTrace"] = None,
+    tracer=None,
 ) -> RunResult:
     """Run a synchronous message-passing algorithm until all nodes halt.
 
     Pass a :class:`MessageTrace` to record per-round message counts — the
     LOCAL model ignores message *size*, but a trace makes the communication
     pattern of a protocol inspectable (used by the protocol tests and the
-    examples to show where traffic concentrates).
+    examples to show where traffic concentrates).  ``tracer`` (a
+    :class:`repro.obs.Tracer`) additionally records a
+    ``run_message_passing`` span with one ``round`` event per executed
+    round carrying the messages delivered in it.
     """
     advice = advice or {}
+    if tracer is None:
+        tracer = NULL_TRACER
+    tracing = tracer.enabled
     n = graph.n
     delta = graph.max_degree
     nodes = graph.nodes()
     stats = SimStats()
-    algos: Dict[Node, MessagePassingAlgorithm] = {}
-    for v in nodes:
-        algo = factory()
-        algo.init(
-            NodeContext(
-                node=v,
-                node_id=graph.id_of(v),
-                degree=graph.degree(v),
-                n=n,
-                max_degree=delta,
-                input=graph.input_of(v),
-                advice=advice.get(v, ""),
-            )
-        )
-        algos[v] = algo
-
-    # Precompute the port tables once: port-ordered neighbor lists plus, for
-    # each directed port (v, p) -> u, the reverse port of v at u.  The seed
-    # re-sorted neighbors and linearly scanned port_of per delivered message.
-    with stats.phase("compile-ports"):
-        compiled = graph.compiled
-        nbrs_at: Dict[Node, List[Node]] = {}
-        rev_port: Dict[Node, List[int]] = {}
+    with tracer.span("run_message_passing", n=n) as run_span:
+        algos: Dict[Node, MessagePassingAlgorithm] = {}
         for v in nodes:
-            nbrs = compiled.neighbors(v)
-            nbrs_at[v] = nbrs
-            rev_port[v] = [compiled.port_of(u, v) for u in nbrs]
+            algo = factory()
+            algo.init(
+                NodeContext(
+                    node=v,
+                    node_id=graph.id_of(v),
+                    degree=graph.degree(v),
+                    n=n,
+                    max_degree=delta,
+                    input=graph.input_of(v),
+                    advice=advice.get(v, ""),
+                )
+            )
+            algos[v] = algo
 
-    rounds = 0
-    with stats.phase("rounds"):
-        while not all(algo.halted for algo in algos.values()):
-            if rounds >= max_rounds:
-                raise SimulationError(f"no termination within {max_rounds} rounds")
-            outboxes = {
-                v: (algos[v].send(rounds) if not algos[v].halted else {})
-                for v in nodes
-            }
-            inboxes: Dict[Node, Dict[int, object]] = {v: {} for v in nodes}
+        # Precompute the port tables once: port-ordered neighbor lists plus,
+        # for each directed port (v, p) -> u, the reverse port of v at u.
+        # The seed re-sorted neighbors and linearly scanned port_of per
+        # delivered message.
+        with stats.phase("compile-ports"):
+            compiled = graph.compiled
+            nbrs_at: Dict[Node, List[Node]] = {}
+            rev_port: Dict[Node, List[int]] = {}
             for v in nodes:
-                nbrs = nbrs_at[v]
-                back = rev_port[v]
-                for port, message in outboxes[v].items():
-                    if not 0 <= port < len(nbrs):
-                        raise SimulationError(f"node {v!r} sent on invalid port {port}")
-                    inboxes[nbrs[port]][back[port]] = message
-                    stats.messages_delivered += 1
-            if trace is not None:
-                trace.record_round(outboxes)
-            for v in nodes:
-                if not algos[v].halted:
-                    algos[v].receive(rounds, inboxes[v])
-            rounds += 1
+                nbrs = compiled.neighbors(v)
+                nbrs_at[v] = nbrs
+                rev_port[v] = [compiled.port_of(u, v) for u in nbrs]
+
+        rounds = 0
+        with stats.phase("rounds"):
+            while not all(algo.halted for algo in algos.values()):
+                if rounds >= max_rounds:
+                    raise SimulationError(
+                        f"no termination within {max_rounds} rounds"
+                    )
+                delivered_before = stats.messages_delivered
+                outboxes = {
+                    v: (algos[v].send(rounds) if not algos[v].halted else {})
+                    for v in nodes
+                }
+                inboxes: Dict[Node, Dict[int, object]] = {v: {} for v in nodes}
+                for v in nodes:
+                    nbrs = nbrs_at[v]
+                    back = rev_port[v]
+                    for port, message in outboxes[v].items():
+                        if not 0 <= port < len(nbrs):
+                            raise SimulationError(
+                                f"node {v!r} sent on invalid port {port}"
+                            )
+                        inboxes[nbrs[port]][back[port]] = message
+                        stats.messages_delivered += 1
+                if trace is not None:
+                    trace.record_round(outboxes)
+                if tracing:
+                    tracer.event(
+                        "round",
+                        round=rounds,
+                        messages=stats.messages_delivered - delivered_before,
+                    )
+                for v in nodes:
+                    if not algos[v].halted:
+                        algos[v].receive(rounds, inboxes[v])
+                rounds += 1
+        if tracing:
+            run_span.set(rounds=rounds, **stats.as_dict())
 
     return RunResult(
         outputs={v: a.output for v, a in algos.items()}, rounds=rounds, stats=stats

@@ -257,6 +257,7 @@ def gather_all_views(
     radius: int,
     advice: Optional[Mapping[Node, str]] = None,
     stats=None,
+    tracer=None,
 ) -> Dict[Node, View]:
     """Compute the radius-``radius`` view of **every** node in one sweep.
 
@@ -265,16 +266,37 @@ def gather_all_views(
     equality), but runs all BFS sweeps over the compiled CSR arrays with
     shared scratch buffers instead of ``n`` independent networkx
     traversals.  ``stats`` (a :class:`repro.perf.SimStats`) accumulates
-    views gathered and BFS node-visits when provided.
+    views gathered and BFS node-visits when provided; ``tracer`` (a
+    :class:`repro.obs.Tracer`) wraps the sweep in a ``gather`` span with
+    the same counters attached.
     """
     compiled = graph.compiled
     advice = advice or {}
-    return {
-        compiled.nodes[i]: _view_from_compiled(
-            graph, compiled, i, radius, advice, stats
+    if tracer is None or not tracer.enabled:
+        return {
+            compiled.nodes[i]: _view_from_compiled(
+                graph, compiled, i, radius, advice, stats
+            )
+            for i in range(compiled.n)
+        }
+    with tracer.span("gather", radius=radius, n=compiled.n) as span:
+        own_stats = stats
+        if own_stats is None:
+            from ..perf import SimStats
+
+            own_stats = SimStats()
+        before = (own_stats.views_gathered, own_stats.bfs_node_visits)
+        views = {
+            compiled.nodes[i]: _view_from_compiled(
+                graph, compiled, i, radius, advice, own_stats
+            )
+            for i in range(compiled.n)
+        }
+        span.set(
+            views_gathered=own_stats.views_gathered - before[0],
+            bfs_node_visits=own_stats.bfs_node_visits - before[1],
         )
-        for i in range(compiled.n)
-    }
+    return views
 
 
 def mark_order_invariant(decide):

@@ -18,7 +18,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator
+from typing import Dict, Iterator, List
 
 
 @dataclass
@@ -52,18 +52,41 @@ class SimStats:
     decide_calls: int = 0
     messages_delivered: int = 0
     phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: exclusive (self) time per phase: cumulative time minus time spent in
+    #: phases nested inside it.  ``total_seconds`` sums these, so nesting a
+    #: ``decide`` phase inside an outer ``run`` phase no longer double-counts.
+    phase_self_seconds: Dict[str, float] = field(default_factory=dict)
+    #: live stack of ``[name, child_seconds]`` frames (not part of equality)
+    _phase_stack: List[List[object]] = field(
+        default_factory=list, repr=False, compare=False
+    )
 
     # -- timers ---------------------------------------------------------------
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
-        """Time a block and accumulate it under ``phase_seconds[name]``."""
+        """Time a block; accumulates inclusive and self time separately.
+
+        ``phase_seconds[name]`` is *cumulative* (includes nested phases);
+        ``phase_self_seconds[name]`` excludes time attributed to phases
+        opened inside this one, so summing self times over all phases never
+        counts a second twice regardless of nesting.
+        """
         start = time.perf_counter()
+        frame: List[object] = [name, 0.0]
+        self._phase_stack.append(frame)
         try:
             yield
         finally:
             elapsed = time.perf_counter() - start
+            self._phase_stack.pop()
             self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + elapsed
+            self_time = elapsed - frame[1]
+            self.phase_self_seconds[name] = (
+                self.phase_self_seconds.get(name, 0.0) + self_time
+            )
+            if self._phase_stack:
+                self._phase_stack[-1][1] += elapsed
 
     # -- derived quantities ----------------------------------------------------
 
@@ -77,6 +100,13 @@ class SimStats:
 
     @property
     def total_seconds(self) -> float:
+        """Wall time across phases, counting nested phases once.
+
+        Falls back to the cumulative dict when phases were recorded
+        directly (no ``phase()`` context) and self times are absent.
+        """
+        if self.phase_self_seconds:
+            return sum(self.phase_self_seconds.values())
         return sum(self.phase_seconds.values())
 
     # -- aggregation -----------------------------------------------------------
@@ -91,6 +121,10 @@ class SimStats:
         self.messages_delivered += other.messages_delivered
         for name, seconds in other.phase_seconds.items():
             self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
+        for name, seconds in other.phase_self_seconds.items():
+            self.phase_self_seconds[name] = (
+                self.phase_self_seconds.get(name, 0.0) + seconds
+            )
         return self
 
     def as_dict(self) -> Dict[str, object]:
@@ -104,6 +138,9 @@ class SimStats:
             "decide_calls": self.decide_calls,
             "messages_delivered": self.messages_delivered,
             "phase_seconds": {k: round(v, 6) for k, v in self.phase_seconds.items()},
+            "phase_self_seconds": {
+                k: round(v, 6) for k, v in self.phase_self_seconds.items()
+            },
             "total_seconds": round(self.total_seconds, 6),
         }
 

@@ -421,6 +421,9 @@ class BalancedOrientationSchema(AdviceSchema):
         for v, u in graph.edges():
             oriented.add(self._orient_edge(tracker, advice, v, u))
         labels = orientation_to_port_labels(graph, oriented)
+        self.tracer.annotate(
+            edges_oriented=len(oriented), locality_queries=tracker.queries
+        )
         return DecodeResult(
             labeling=labels,
             rounds=tracker.rounds,
@@ -456,15 +459,24 @@ class BalancedOrientationSchema(AdviceSchema):
         anchor = self._find_anchor(advice, fwd)
         if anchor is not None:
             oriented_edge, walked_as = anchor
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "anchor-read", node=v, anchor=oriented_edge[0], direction="fwd"
+                )
             # Walk direction A traverses the original edge as (v, u).
             return (v, u) if oriented_edge == walked_as else (u, v)
         anchor = self._find_anchor(advice, bwd)
         if anchor is not None:
             oriented_edge, walked_as = anchor
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "anchor-read", node=v, anchor=oriented_edge[0], direction="bwd"
+                )
             # Walk direction B traverses the original edge as (u, v).
             return (u, v) if oriented_edge == walked_as else (v, u)
         raise InvalidAdvice(
-            f"edge {{{v!r}, {u!r}}}: no anchor within {limit} trail steps"
+            f"edge {{{v!r}, {u!r}}}: no anchor within {limit} trail steps",
+            node=v,
         )
 
     @staticmethod
@@ -642,7 +654,8 @@ class OneBitOrientationSchema(AdviceSchema):
                 return (v, u) if matches_walk else (u, v)
             return (u, v) if matches_walk else (v, u)
         raise InvalidAdvice(
-            f"edge {{{v!r}, {u!r}}}: no payload anchor within {limit} steps"
+            f"edge {{{v!r}, {u!r}}}: no payload anchor within {limit} steps",
+            node=v,
         )
 
     @staticmethod

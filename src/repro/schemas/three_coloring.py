@@ -393,7 +393,9 @@ class ThreeColoringSchema(AdviceSchema):
 
         for v in graph.nodes():
             if advice.get(v) not in ("0", "1"):
-                raise InvalidAdvice(f"node {v!r} lacks its single advice bit")
+                raise InvalidAdvice(
+                    f"node {v!r} lacks its single advice bit", node=v
+                )
 
         def is_type1(v: Node) -> bool:
             if advice[v] != "1":
@@ -414,10 +416,17 @@ class ThreeColoringSchema(AdviceSchema):
             anchor_color, anchor = self._component_anchor(
                 tracker, graph, advice, component, type1, threshold, span, search
             )
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "component-anchor", node=anchor, color=anchor_color,
+                    component_size=len(comp_nodes),
+                )
             dist = bfs_distances(component, anchor)
             for v in comp_nodes:
                 if v not in dist:
-                    raise InvalidAdvice("disconnected 2-coloring propagation")
+                    raise InvalidAdvice(
+                        "disconnected 2-coloring propagation", node=v
+                    )
                 labeling[v] = (
                     anchor_color if dist[v] % 2 == 0 else 5 - anchor_color
                 )

@@ -15,7 +15,7 @@ path — which is what makes even this baby schema interesting.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Optional, Tuple
 
 import networkx as nx
 
@@ -92,12 +92,17 @@ class TwoColoringSchema(AdviceSchema):
         """
         radius = self.spacing - 1
         result = run_view_algorithm(
-            graph, radius, mark_order_invariant(_nearest_anchor_color), advice=advice
+            graph,
+            radius,
+            mark_order_invariant(_nearest_anchor_color),
+            advice=advice,
+            tracer=self.tracer,
         )
         return DecodeResult(
             labeling=dict(result.outputs),
             rounds=radius if graph.n else 0,
             detail={"stats": result.stats.as_dict() if result.stats else {}},
+            stats=result.stats,
         )
 
 
@@ -115,7 +120,8 @@ def _nearest_anchor_color(view: View) -> int:
                 best = (key[0], key[1], v)
     if best is None:
         raise InvalidAdvice(
-            f"node {view.center!r}: no anchor within {view.radius} hops"
+            f"node {view.center!r}: no anchor within {view.radius} hops",
+            node=view.center,
         )
     distance, _, anchor = best
     color = 1 if view.advice_of(anchor) == "1" else 2
@@ -151,27 +157,46 @@ class OneBitTwoColoringSchema(AdviceSchema):
 
     def decode(self, graph: LocalGraph, advice: Mapping[Node, str]) -> DecodeResult:
         tracker = LocalityTracker(graph)
-        labeling: Dict[Node, int] = {}
+        tracer = self.tracer
         radius = self.spacing - 1
         tracker.charge(radius + self.WINDOW)
         graph_ = tracker.graph
-        for v in graph_.nodes():
-            found = None
-            for distance in range(radius + 1):
-                starts = []
-                for u in graph_.sphere(v, distance):
-                    payload = decode_at(graph_, u, self.WINDOW, advice)
-                    if payload is not None and len(payload) == 1:
-                        starts.append((u, payload))
-                if starts:
-                    anchor, payload = min(starts, key=lambda t: graph_.id_of(t[0]))
-                    found = (payload, distance)
-                    break
-            if found is None:
-                raise InvalidAdvice(f"node {v!r}: no anchor payload in range")
-            payload, distance = found
-            color = 1 if payload == "1" else 2
-            labeling[v] = color if distance % 2 == 0 else 3 - color
+        # Gather phase: every node locates its nearest decodable anchor
+        # payload (the information its radius-(spacing+window) ball holds).
+        anchors: Dict[Node, Tuple[str, int]] = {}
+        with tracer.span("gather", radius=radius + self.WINDOW, n=graph.n):
+            for v in graph_.nodes():
+                found = None
+                for distance in range(radius + 1):
+                    starts = []
+                    for u in graph_.sphere(v, distance):
+                        payload = decode_at(graph_, u, self.WINDOW, advice)
+                        if payload is not None and len(payload) == 1:
+                            starts.append((u, payload))
+                    if starts:
+                        anchor, payload = min(
+                            starts, key=lambda t: graph_.id_of(t[0])
+                        )
+                        found = (payload, distance)
+                        if tracer.enabled:
+                            tracer.event(
+                                "anchor-read",
+                                node=v,
+                                anchor=anchor,
+                                distance=distance,
+                            )
+                        break
+                if found is None:
+                    raise InvalidAdvice(
+                        f"node {v!r}: no anchor payload in range", node=v
+                    )
+                anchors[v] = found
+        # Decide phase: distance parity fixes the color.
+        labeling: Dict[Node, int] = {}
+        with tracer.span("decide", n=graph.n):
+            for v, (payload, distance) in anchors.items():
+                color = 1 if payload == "1" else 2
+                labeling[v] = color if distance % 2 == 0 else 3 - color
         return DecodeResult(labeling=labeling, rounds=tracker.rounds)
 
 

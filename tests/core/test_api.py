@@ -59,6 +59,49 @@ class TestSolveWithAdvice:
         assert run.valid is True
 
 
+class TestTelemetry:
+    def test_solve_with_advice_populates_telemetry(self):
+        run = solve_with_advice(
+            "balanced-orientation", LocalGraph(cycle(40), seed=1)
+        )
+        telemetry = run.telemetry
+        assert telemetry["beta"] == run.beta
+        assert telemetry["rounds"] == run.rounds
+        assert telemetry["n"] == 40
+        assert 0.0 <= telemetry["cache_hit_rate"] <= 1.0
+        assert telemetry["advice_bits_per_node"]["count"] == 40
+
+    def test_every_registered_schema_carries_core_telemetry(self):
+        """Acceptance: beta/rounds/bits_per_node/cache_hit_rate for every
+        registered schema, via its demo default instance."""
+        from repro.__main__ import run_one
+
+        for name in available_schemas():
+            run = run_one(name, 48, seed=3)
+            telemetry = run.telemetry
+            for key in ("beta", "rounds", "bits_per_node", "cache_hit_rate",
+                        "views_gathered", "bfs_node_visits", "decide_calls",
+                        "violations_total"):
+                assert key in telemetry, f"{name}: telemetry missing {key}"
+            assert telemetry["beta"] == run.beta
+            assert telemetry["rounds"] == run.rounds
+            assert telemetry["bits_per_node"] == pytest.approx(
+                run.bits_per_node
+            )
+            assert telemetry["violations_total"] == 0
+
+    def test_custom_registry_receives_metrics(self):
+        from repro import MetricsRegistry
+
+        registry = MetricsRegistry()
+        solve_with_advice(
+            "2-coloring", LocalGraph(cycle(36), seed=2), registry=registry
+        )
+        snap = registry.snapshot()
+        assert snap["beta"] == 1.0
+        assert snap["advice_bits_per_node"]["count"] == 36
+
+
 class TestCompressionFacade:
     def test_roundtrip(self):
         g = LocalGraph(torus(6, 6), seed=4)

@@ -1,9 +1,12 @@
 """Tests for the `python -m repro` demo CLI."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main, run_one
 from repro.core.api import available_schemas
+from repro.obs import load_jsonl, span_tree
 
 
 class TestCLI:
@@ -29,3 +32,42 @@ class TestCLI:
         for name in available_schemas():
             graph, kwargs = _default_instance(name, 60, 3)
             assert graph.n > 0
+
+    def test_json_output(self, capsys):
+        code = main(["2-coloring", "--n", "60", "--seed", "1", "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["n"] == 60
+        (record,) = payload["schemas"]
+        assert record["schema"] == "2-coloring"
+        assert record["valid"] is True
+        telemetry = record["telemetry"]
+        for key in ("beta", "rounds", "bits_per_node", "cache_hit_rate"):
+            assert key in telemetry
+
+
+class TestTraceCLI:
+    def test_trace_writes_jsonl_and_summary(self, tmp_path, capsys):
+        out = str(tmp_path / "trace.jsonl")
+        code = main(
+            ["trace", "one-bit-2-coloring", "--n", "200", "--out", out]
+        )
+        stdout = capsys.readouterr().out
+        assert code == 0
+        records = load_jsonl(out)
+        names = {r["name"] for r in records if r["kind"] == "span"}
+        # acceptance: the span tree covers encode -> gather -> decide -> verify
+        assert {"schema_run", "encode", "decode", "gather", "decide",
+                "verify"} <= names
+        tree = span_tree(records)
+        assert [s["name"] for s in tree[None]] == ["schema_run"]
+        assert "telemetry" in stdout
+        assert "beta" in stdout
+
+    def test_trace_default_out_path(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main(["trace", "2-coloring", "--n", "40"])
+        capsys.readouterr()
+        assert code == 0
+        assert (tmp_path / "trace-2-coloring.jsonl").exists()

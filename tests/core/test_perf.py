@@ -1,5 +1,7 @@
 """Unit tests for the repro.perf counters/timers."""
 
+import pytest
+
 from repro.perf import SimStats, Timer
 
 
@@ -20,6 +22,45 @@ class TestSimStats:
             pass
         assert stats.phase_seconds["gather"] >= first
         assert stats.total_seconds == sum(stats.phase_seconds.values())
+
+    def test_nested_phases_do_not_double_count(self):
+        # Regression: a phase opened inside another phase used to count its
+        # wall time twice in total_seconds (once for itself, once inside the
+        # parent).  Self-time excludes child phases, so totals stay honest.
+        stats = SimStats()
+        with stats.phase("run"):
+            with stats.phase("gather"):
+                sum(range(20000))
+            with stats.phase("decide"):
+                sum(range(20000))
+        run = stats.phase_seconds["run"]
+        gather = stats.phase_seconds["gather"]
+        decide = stats.phase_seconds["decide"]
+        # cumulative: parent covers its children
+        assert run >= gather + decide
+        # self-time: parent excludes its children
+        assert stats.phase_self_seconds["run"] == pytest.approx(
+            run - gather - decide
+        )
+        # leaves have self == cumulative
+        assert stats.phase_self_seconds["gather"] == gather
+        # total is the sum of self-times == wall time of the outermost phase
+        assert stats.total_seconds == pytest.approx(run)
+        assert stats.total_seconds < run + gather + decide
+
+    def test_nested_merge_keeps_both_views(self):
+        a = SimStats()
+        with a.phase("run"):
+            with a.phase("gather"):
+                pass
+        b = SimStats()
+        with b.phase("run"):
+            pass
+        a.merge(b)
+        assert set(a.phase_seconds) == {"run", "gather"}
+        assert a.phase_self_seconds["run"] == pytest.approx(
+            a.phase_seconds["run"] - a.phase_seconds["gather"]
+        )
 
     def test_merge(self):
         a = SimStats(views_gathered=2, bfs_node_visits=10)

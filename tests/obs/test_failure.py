@@ -1,0 +1,117 @@
+"""Failure attribution: corrupted advice must yield an actionable report."""
+
+import json
+
+import pytest
+
+from repro import LocalGraph, RingSink, Tracer
+from repro.advice.schema import InvalidAdvice
+from repro.graphs import cycle
+from repro.obs.failure import (
+    build_error_report,
+    build_violation_reports,
+    view_fingerprint,
+)
+from repro.schemas import TwoColoringSchema
+
+
+class TestViewFingerprint:
+    def test_stable_across_calls(self):
+        g = LocalGraph(cycle(20), seed=0)
+        v = g.nodes()[3]
+        assert view_fingerprint(g, v, 2) == view_fingerprint(g, v, 2)
+
+    def test_order_isomorphic_views_collide(self):
+        # All radius-1 interior views of a cycle with identifiers assigned
+        # in ring order are order-isomorphic except at the wrap-around.
+        g = LocalGraph(cycle(12), ids={i: i + 1 for i in range(12)})
+        prints = {view_fingerprint(g, v, 1) for v in range(1, 11)}
+        assert len(prints) == 1
+
+    def test_advice_changes_fingerprint(self):
+        g = LocalGraph(cycle(10), seed=1)
+        v = g.nodes()[0]
+        without = view_fingerprint(g, v, 1)
+        with_bits = view_fingerprint(g, v, 1, advice={v: "1"})
+        assert without != with_bits
+
+
+class TestViolationReports:
+    def _corrupted_run(self):
+        g = LocalGraph(cycle(60), seed=11)
+        schema = TwoColoringSchema(spacing=6)
+        advice = schema.encode(g)
+        anchor = next(v for v in g.nodes() if advice[v])
+        corrupted = dict(advice)
+        corrupted[anchor] = "0" if advice[anchor] == "1" else "1"
+        return g, schema, corrupted
+
+    def test_reports_name_node_and_advice(self):
+        g, schema, corrupted = self._corrupted_run()
+        result = schema.decode(g, corrupted)
+        bad = schema.find_violations(g, result.labeling)
+        assert bad  # the flipped anchor creates a parity seam
+        reports = build_violation_reports(
+            schema.name, g, corrupted, result.labeling, bad, result.rounds
+        )
+        assert reports
+        report = reports[0]
+        assert report.kind == "violation"
+        assert report.node in bad
+        assert report.node_id == g.id_of(report.node)
+        assert report.advice_bits == corrupted.get(report.node, "")
+        assert report.view_hash
+        assert set(report.neighbor_advice) == set(g.neighbors(report.node))
+        json.dumps(report.as_dict())  # JSON-ready
+        assert "violation" in report.summary()
+
+    def test_run_populates_failures_and_trace_events(self):
+        g, schema, corrupted = self._corrupted_run()
+        ring = RingSink()
+        tracer = Tracer(ring)
+        # Replay the corrupted advice through the schema's own decoder by
+        # monkeypatching encode — run() then verifies and attributes.
+        schema.encode = lambda graph: corrupted
+        run = schema.run(g, tracer=tracer)
+        assert run.valid is False
+        assert run.failures
+        report = run.failures[0]
+        assert report.node is not None
+        # the engine's per-node decide events were captured for the node
+        assert any(e["name"] == "decide" for e in report.trace_events)
+
+    def test_report_cap(self):
+        g = LocalGraph(cycle(30), seed=2)
+        schema = TwoColoringSchema(spacing=6)
+        advice = schema.encode(g)
+        labeling = {v: 1 for v in g.nodes()}  # everything violates
+        bad = schema.find_violations(g, labeling)
+        assert len(bad) == 30
+        reports = build_violation_reports(
+            schema.name, g, advice, labeling, bad, 5, limit=3
+        )
+        assert len(reports) == 3
+
+
+class TestErrorReports:
+    def test_decode_error_report_names_node(self):
+        g = LocalGraph(cycle(40), seed=3)
+        schema = TwoColoringSchema(spacing=6)
+        schema.encode = lambda graph: {v: "" for v in graph.nodes()}
+        with pytest.raises(InvalidAdvice) as excinfo:
+            schema.run(g)
+        report = excinfo.value.failure_report
+        assert report.kind == "decode-error"
+        assert report.node is not None
+        assert report.advice_bits == ""
+        assert report.view_hash
+        assert "InvalidAdvice" in report.error
+
+    def test_error_without_node_still_reports(self):
+        g = LocalGraph(cycle(10), seed=4)
+        error = InvalidAdvice("something went wrong")  # no node= supplied
+        report = build_error_report("some-schema", g, {}, error)
+        assert report.node is None
+        assert report.view_hash is None
+        assert "something went wrong" in report.error
+        json.dumps(report.as_dict())

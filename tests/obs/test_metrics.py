@@ -1,0 +1,88 @@
+"""Unit tests for repro.obs.metrics: primitives, labels, snapshots."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_monotonic(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        g = Gauge()
+        g.set(10)
+        g.inc(-3)
+        assert g.value == 7.0
+
+
+class TestHistogram:
+    def test_summary_stats(self):
+        h = Histogram()
+        for v in (0, 1, 1, 2, 8):
+            h.observe(v)
+        assert h.count == 5
+        assert h.sum == 12
+        assert h.min == 0
+        assert h.max == 8
+        assert h.mean == 2.4
+
+    def test_buckets_cumulative(self):
+        h = Histogram(buckets=(1, 2, 4))
+        for v in (0.5, 1, 3, 100):
+            h.observe(v)
+        snap = h.snapshot_value()
+        assert snap["buckets"] == {"le_1": 2, "le_2": 2, "le_4": 3, "le_inf": 4}
+
+    def test_empty_histogram(self):
+        snap = Histogram().snapshot_value()
+        assert snap["count"] == 0
+        assert snap["mean"] == 0.0
+        assert snap["min"] is None
+
+
+class TestRegistry:
+    def test_get_or_create_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("hits") is reg.counter("hits")
+        assert reg.counter("hits", schema="a") is not reg.counter("hits", schema="b")
+
+    def test_kind_clash_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_snapshot_labels_and_json(self):
+        reg = MetricsRegistry()
+        reg.counter("violations_total").inc(2)
+        reg.gauge("beta", schema="two-coloring").set(1)
+        reg.histogram("advice_bits_per_node").observe(1)
+        snap = reg.snapshot()
+        assert snap["violations_total"] == 2
+        assert snap["beta{schema=two-coloring}"] == 1.0
+        assert snap["advice_bits_per_node"]["count"] == 1
+        json.dumps(snap)  # JSON-ready
+
+    def test_merge_stats(self):
+        from repro.perf import SimStats
+
+        stats = SimStats(
+            views_gathered=10, bfs_node_visits=50, view_cache_hits=3,
+            view_cache_misses=1, decide_calls=4,
+        )
+        reg = MetricsRegistry()
+        reg.merge_stats(stats.as_dict())
+        snap = reg.snapshot()
+        assert snap["views_gathered"] == 10
+        assert snap["bfs_node_visits"] == 50
+        assert snap["view_cache_hit_rate"] == 0.75

@@ -1,0 +1,162 @@
+"""Unit tests for repro.obs.trace: spans, events, sinks, no-op default."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    JsonlSink,
+    NullTracer,
+    RingSink,
+    Tracer,
+    as_tracer,
+    format_span_tree,
+    load_jsonl,
+    span_tree,
+)
+
+
+class TestSpans:
+    def test_span_records_time_and_attrs(self):
+        ring = RingSink()
+        tracer = Tracer(ring)
+        with tracer.span("outer", color="blue") as sp:
+            sp.set(extra=1)
+        (record,) = ring.records
+        assert record["kind"] == "span"
+        assert record["name"] == "outer"
+        assert record["parent"] is None
+        assert record["end"] >= record["start"]
+        assert record["attrs"] == {"color": "blue", "extra": 1}
+
+    def test_nesting_links_parents(self):
+        ring = RingSink()
+        tracer = Tracer(ring)
+        with tracer.span("run") as run_span:
+            with tracer.span("encode"):
+                pass
+            with tracer.span("decode"):
+                with tracer.span("gather"):
+                    pass
+        by_name = {r["name"]: r for r in ring.records}
+        assert by_name["encode"]["parent"] == run_span.span_id
+        assert by_name["decode"]["parent"] == run_span.span_id
+        assert by_name["gather"]["parent"] == by_name["decode"]["span"]
+        tree = span_tree(ring.records)
+        assert [s["name"] for s in tree[None]] == ["run"]
+
+    def test_events_attach_to_current_span(self):
+        ring = RingSink()
+        tracer = Tracer(ring)
+        with tracer.span("decode") as sp:
+            tracer.event("decide", node=7)
+        events = [r for r in ring.records if r["kind"] == "event"]
+        assert events[0]["span"] == sp.span_id
+        assert events[0]["attrs"] == {"node": 7}
+
+    def test_exception_closes_span_with_error(self):
+        ring = RingSink()
+        tracer = Tracer(ring)
+        with pytest.raises(ValueError):
+            with tracer.span("decode"):
+                with tracer.span("gather"):
+                    raise ValueError("boom")
+        by_name = {r["name"]: r for r in ring.records}
+        assert by_name["gather"]["attrs"]["error"] == "ValueError"
+        assert by_name["decode"]["attrs"]["error"] == "ValueError"
+        # stack fully unwound: a new root span gets parent None
+        with tracer.span("again"):
+            pass
+        assert {r["name"]: r for r in ring.records}["again"]["parent"] is None
+
+    def test_annotate_hits_innermost(self):
+        ring = RingSink()
+        tracer = Tracer(ring)
+        with tracer.span("a"):
+            with tracer.span("b"):
+                tracer.annotate(hit=True)
+        by_name = {r["name"]: r for r in ring.records}
+        assert by_name["b"]["attrs"] == {"hit": True}
+        assert by_name["a"]["attrs"] == {}
+
+
+class TestRingSink:
+    def test_bounded(self):
+        ring = RingSink(capacity=10)
+        tracer = Tracer(ring)
+        for i in range(50):
+            tracer.event("e", i=i)
+        assert len(ring.records) == 10
+        assert ring.records[-1]["attrs"]["i"] == 49
+
+    def test_touching_node(self):
+        ring = RingSink()
+        tracer = Tracer(ring)
+        for i in range(5):
+            tracer.event("decide", node=i)
+        tracer.event("batch", nodes=[1, 3])
+        touching = ring.touching_node(3)
+        assert [r["name"] for r in touching] == ["decide", "batch"]
+        assert ring.touching_node(99) == []
+
+    def test_touching_node_limit(self):
+        ring = RingSink()
+        tracer = Tracer(ring)
+        for i in range(20):
+            tracer.event("decide", node=0, i=i)
+        hits = ring.touching_node(0, limit=4)
+        assert len(hits) == 4
+        assert hits[-1]["attrs"]["i"] == 19  # most recent kept, oldest first
+
+
+class TestJsonlSink:
+    def test_round_trips_records(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tracer = Tracer(JsonlSink(path))
+        with tracer.span("run", n=3):
+            tracer.event("decide", node=frozenset({7}))  # non-JSON -> repr
+        tracer.close()
+        records = load_jsonl(path)
+        assert [r["kind"] for r in records] == ["event", "span"]
+        assert records[0]["attrs"]["node"] == repr(frozenset({7}))
+        # every line is independently valid JSON
+        with open(path) as fh:
+            for line in fh:
+                json.loads(line)
+
+
+class TestNullTracer:
+    def test_is_disabled_and_inert(self):
+        assert NULL_TRACER.enabled is False
+        with NULL_TRACER.span("anything", x=1) as sp:
+            sp.set(y=2)
+            NULL_TRACER.event("e", node=3)
+            NULL_TRACER.annotate(z=4)
+        assert NULL_TRACER.ring() is None
+        NULL_TRACER.close()
+
+    def test_span_reuses_singleton(self):
+        a = NULL_TRACER.span("a")
+        b = NULL_TRACER.span("b")
+        assert a is b
+
+    def test_as_tracer(self):
+        assert as_tracer(None) is NULL_TRACER
+        real = Tracer()
+        assert as_tracer(real) is real
+        assert isinstance(NullTracer(), Tracer)
+
+
+class TestFormatting:
+    def test_format_span_tree(self):
+        ring = RingSink()
+        tracer = Tracer(ring)
+        with tracer.span("schema_run"):
+            with tracer.span("decode"):
+                tracer.event("decide", node=1)
+        text = format_span_tree(ring.records)
+        lines = text.splitlines()
+        assert lines[0].startswith("schema_run")
+        assert lines[1].startswith("  decode")
+        assert "[1 events]" in lines[1]
