@@ -1,0 +1,54 @@
+"""Observability: run tracing, metrics, and failure attribution.
+
+Three pieces, designed to stay out of the hot path until asked for:
+
+* :mod:`repro.obs.trace` — structured span/event traces of a run
+  (``Tracer``, ``RingSink``, ``JsonlSink``; ``NULL_TRACER`` is the
+  zero-cost default threaded through the engine and schemas).
+* :mod:`repro.obs.metrics` — a counter/gauge/histogram registry capturing
+  the paper's observables (β, T, bits per node, engine counters) into
+  ``SchemaRun.telemetry``.
+* :mod:`repro.obs.failure` — ``FailureReport`` attribution for invalid
+  labelings and decoder errors.
+"""
+
+from .failure import (
+    FailureReport,
+    build_error_report,
+    build_violation_reports,
+    view_fingerprint,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .trace import (
+    NULL_TRACER,
+    JsonlSink,
+    NullTracer,
+    RingSink,
+    Span,
+    Tracer,
+    as_tracer,
+    format_span_tree,
+    load_jsonl,
+    span_tree,
+)
+
+__all__ = [
+    "Counter",
+    "FailureReport",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "RingSink",
+    "Span",
+    "Tracer",
+    "as_tracer",
+    "build_error_report",
+    "build_violation_reports",
+    "format_span_tree",
+    "load_jsonl",
+    "span_tree",
+    "view_fingerprint",
+]

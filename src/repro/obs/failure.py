@@ -1,0 +1,159 @@
+"""Failure attribution: turn a bad run into an actionable report.
+
+When a decoder raises :class:`~repro.advice.schema.InvalidAdvice` or the
+verifier finds violating nodes, a bare ``valid=False`` tells you nothing
+about *where* the schema broke.  A :class:`FailureReport` pinpoints one
+failing node: its identifier, the advice bits it and its neighbors read,
+a stable hash of its radius-``T`` view (so two runs failing on
+order-isomorphic neighborhoods produce the same fingerprint), its decoded
+label against its neighbors' labels, and the last trace events that
+touched it — everything the corruption experiments need to diff a bad run
+against a good one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..local.graph import LocalGraph, Node
+from ..local.views import gather_view
+from .trace import RingSink
+
+#: Cap on the view radius materialized per report — reports must stay cheap
+#: even for decoders whose round count is large.
+MAX_REPORT_RADIUS = 8
+
+
+def view_fingerprint(
+    graph: LocalGraph,
+    node: Node,
+    radius: int,
+    advice: Optional[Mapping[Node, str]] = None,
+) -> str:
+    """Stable hex digest of the node's radius-``radius`` order signature.
+
+    Order-isomorphic neighborhoods (same structure, relative id order,
+    inputs, and advice — the §8 equivalence) hash identically, so a
+    fingerprint seen failing once identifies the whole view class.
+    """
+    view = gather_view(graph, node, radius, advice=advice)
+    payload = repr(view.order_signature()).encode()
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+@dataclass
+class FailureReport:
+    """Attribution record for one failing node (or one decoder error).
+
+    ``kind`` is ``"violation"`` (the verifier rejected the node's
+    neighborhood) or ``"decode-error"`` (the decoder raised before
+    producing a labeling).
+    """
+
+    schema_name: str
+    kind: str
+    node: Optional[Node]
+    node_id: Optional[int]
+    radius: int
+    advice_bits: Optional[str]
+    neighbor_advice: Dict[Node, str] = field(default_factory=dict)
+    view_hash: Optional[str] = None
+    label: object = None
+    neighbor_labels: Dict[Node, object] = field(default_factory=dict)
+    trace_events: List[Dict[str, object]] = field(default_factory=list)
+    error: Optional[str] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "schema": self.schema_name,
+            "kind": self.kind,
+            "node": repr(self.node),
+            "node_id": self.node_id,
+            "radius": self.radius,
+            "advice_bits": self.advice_bits,
+            "neighbor_advice": {repr(v): b for v, b in self.neighbor_advice.items()},
+            "view_hash": self.view_hash,
+            "label": repr(self.label),
+            "neighbor_labels": {repr(v): repr(l) for v, l in self.neighbor_labels.items()},
+            "trace_events": self.trace_events,
+            "error": self.error,
+        }
+
+    def summary(self) -> str:
+        """One human-readable line per report (what the CLI prints)."""
+        where = f"node {self.node!r}" if self.node is not None else "unknown node"
+        if self.node_id is not None:
+            where += f" (id {self.node_id})"
+        bits = f"advice={self.advice_bits!r}" if self.advice_bits is not None else "advice=?"
+        tail = f" error={self.error}" if self.error else ""
+        return (
+            f"{self.schema_name}: {self.kind} at {where}, {bits}, "
+            f"view_hash={self.view_hash}{tail}"
+        )
+
+
+def build_violation_reports(
+    schema_name: str,
+    graph: LocalGraph,
+    advice: Mapping[Node, str],
+    labeling: Mapping[Node, object],
+    bad_nodes: Sequence[Node],
+    rounds: int,
+    ring: Optional[RingSink] = None,
+    limit: int = 5,
+) -> List[FailureReport]:
+    """One report per violating node (capped at ``limit``)."""
+    radius = max(1, min(rounds, MAX_REPORT_RADIUS))
+    reports = []
+    for node in list(bad_nodes)[:limit]:
+        neighbors = graph.neighbors(node)
+        reports.append(
+            FailureReport(
+                schema_name=schema_name,
+                kind="violation",
+                node=node,
+                node_id=graph.id_of(node),
+                radius=radius,
+                advice_bits=advice.get(node, ""),
+                neighbor_advice={u: advice.get(u, "") for u in neighbors},
+                view_hash=view_fingerprint(graph, node, radius, advice=advice),
+                label=labeling.get(node),
+                neighbor_labels={u: labeling.get(u) for u in neighbors},
+                trace_events=ring.touching_node(node) if ring is not None else [],
+            )
+        )
+    return reports
+
+
+def build_error_report(
+    schema_name: str,
+    graph: LocalGraph,
+    advice: Mapping[Node, str],
+    error: BaseException,
+    rounds_hint: int = 1,
+    ring: Optional[RingSink] = None,
+) -> FailureReport:
+    """Attribution for a decoder that raised instead of returning.
+
+    The failing node is taken from the exception's ``node`` attribute when
+    the raiser supplied one (``InvalidAdvice(msg, node=v)``); otherwise the
+    report still carries the error and the trace tail, just unlocalized.
+    """
+    node = getattr(error, "node", None)
+    radius = max(1, min(rounds_hint, MAX_REPORT_RADIUS))
+    known = node is not None and graph.graph.has_node(node)
+    neighbors = graph.neighbors(node) if known else []
+    return FailureReport(
+        schema_name=schema_name,
+        kind="decode-error",
+        node=node,
+        node_id=graph.id_of(node) if known else None,
+        radius=radius,
+        advice_bits=advice.get(node, "") if known else None,
+        neighbor_advice={u: advice.get(u, "") for u in neighbors},
+        view_hash=view_fingerprint(graph, node, radius, advice=advice) if known else None,
+        trace_events=ring.touching_node(node) if (ring is not None and node is not None) else [],
+        error=f"{type(error).__name__}: {error}",
+    )

@@ -1,0 +1,192 @@
+"""A small pure-python metrics registry for the paper's observables.
+
+Definition 3.2 characterizes an advice schema by measurable quantities —
+``beta`` (bits per node), ``T`` (decoder rounds), and the locality actually
+consumed — and PR 1's engine added execution counters (BFS node-visits,
+view-cache hit rate).  This module gives them a uniform home: a
+:class:`MetricsRegistry` of counters, gauges, and histograms whose
+:meth:`~MetricsRegistry.snapshot` lands verbatim in ``SchemaRun.telemetry``
+and the benchmark JSON.
+
+Labels are frozen ``(key, value)`` tuples so a labeled metric family is an
+ordinary dict keyed on them; unlabeled per-run registries (what
+``AdviceSchema.run`` creates) snapshot to plain metric names.
+
+Standard names recorded on every schema run:
+
+================================  ==========  =================================
+name                              type        meaning (paper quantity)
+================================  ==========  =================================
+``beta``                          gauge       max advice length (Def. 3.2 β)
+``rounds``                        gauge       decoder LOCAL rounds (T)
+``advice_total_bits``             gauge       Σ_v |advice(v)|
+``advice_bits_per_node``          histogram   per-node advice lengths
+``views_gathered``                counter     engine: views materialized
+``bfs_node_visits``               counter     engine: Σ_v |B(v,T)| work
+``decide_calls``                  counter     engine: distinct decisions
+``view_cache_hit_rate``           gauge       engine: memoization hit rate
+``violations_total``              counter     nodes failing the local check
+``decode_errors_total``           counter     typed decoder failures
+================================  ==========  =================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def _labelset(labels: Dict[str, object]) -> LabelSet:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render(name: str, labels: LabelSet) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def snapshot_value(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A value that can be set to anything."""
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def snapshot_value(self) -> float:
+        return self.value
+
+
+#: Default bucket upper bounds; chosen for the small integer quantities the
+#: schemas produce (advice lengths, rounds). ``inf`` is implicit.
+DEFAULT_BUCKETS: Tuple[float, ...] = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+
+class Histogram:
+    """Fixed-bucket histogram tracking count/sum/min/max alongside buckets."""
+
+    kind = "histogram"
+
+    def __init__(self, buckets: Optional[Iterable[float]] = None) -> None:
+        self.buckets: Tuple[float, ...] = tuple(
+            sorted(buckets if buckets is not None else DEFAULT_BUCKETS)
+        )
+        self.bucket_counts: List[int] = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def snapshot_value(self) -> Dict[str, object]:
+        buckets = {}
+        cumulative = 0
+        for bound, count in zip(self.buckets, self.bucket_counts):
+            cumulative += count
+            buckets[f"le_{bound:g}"] = cumulative
+        buckets["le_inf"] = cumulative + self.bucket_counts[-1]
+        return {
+            "count": self.count,
+            "sum": round(self.sum, 9),
+            "min": self.min,
+            "max": self.max,
+            "mean": round(self.mean, 9),
+            "buckets": buckets,
+        }
+
+
+class MetricsRegistry:
+    """Holds all metrics of one scope (typically: one schema run).
+
+    ``counter``/``gauge``/``histogram`` get-or-create, so call sites never
+    need to pre-register — the first touch defines the metric, subsequent
+    touches with the same name and labels return the same instance (with a
+    type check: reusing a name across metric kinds is a bug).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, LabelSet], object] = {}
+
+    def _get(self, cls, name: str, labels: Dict[str, object], **kwargs):
+        key = (name, _labelset(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(**kwargs)
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(metric).__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self, name: str, buckets: Optional[Iterable[float]] = None, **labels: object
+    ) -> Histogram:
+        return self._get(Histogram, name, labels, buckets=buckets)
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready view: ``{"name" or "name{k=v}": value-or-histogram}``."""
+        out: Dict[str, object] = {}
+        for (name, labels), metric in sorted(self._metrics.items()):
+            out[_render(name, labels)] = metric.snapshot_value()
+        return out
+
+    def merge_stats(self, stats_dict: Dict[str, object], **labels: object) -> None:
+        """Fold a ``SimStats.as_dict()`` into engine-level metrics."""
+        for key in ("views_gathered", "bfs_node_visits", "decide_calls",
+                    "view_cache_hits", "view_cache_misses", "messages_delivered"):
+            value = stats_dict.get(key)
+            if value:
+                self.counter(key, **labels).inc(value)
+        rate = stats_dict.get("cache_hit_rate")
+        if rate is not None:
+            self.gauge("view_cache_hit_rate", **labels).set(float(rate))
