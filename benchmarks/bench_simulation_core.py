@@ -84,8 +84,8 @@ def _seed_gather_view(graph: LocalGraph, center, radius: int, advice=None) -> Vi
         inputs={v: graph.input_of(v) for v in nodes},
         advice={v: advice.get(v, "") for v in nodes},
         distances=distances,
-        graph_n=graph.n,
-        graph_max_degree=max_degree,
+        _graph_n=graph.n,
+        _graph_max_degree=max_degree,
     )
 
 

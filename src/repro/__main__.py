@@ -9,6 +9,10 @@ included) so CI and scripts can consume it.
 ``python -m repro trace <schema> [--n N] [--seed S] [--out trace.jsonl]``
 runs one schema with tracing on: the full span/event stream lands in a
 JSONL file and a span-tree summary plus the telemetry is printed.
+
+``python -m repro lint [--json] [--fuzz] [--fix-waivers]`` runs the
+locality & order-invariance linter (:mod:`repro.analysis`) over the
+LOCAL-contract code and exits non-zero on unwaived violations.
 """
 
 from __future__ import annotations
@@ -16,58 +20,17 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Callable, Dict, Optional, Tuple
+from typing import Optional
 
-from .advice.schema import AdviceSchema, SchemaRun
-from .core.api import available_schemas, make_schema
+from .advice.schema import SchemaRun
+from .core.api import available_schemas, default_instance, make_schema
 from .obs import JsonlSink, RingSink, Tracer, format_span_tree, load_jsonl
-from .graphs import (
-    cycle,
-    planted_delta_colorable,
-    planted_three_colorable,
-    random_bipartite_regular,
-)
-from .lcl import vertex_coloring
-from .local import LocalGraph
-
-
-def _default_instance(name: str, n: int, seed: int) -> Tuple[LocalGraph, Dict]:
-    """A (graph, schema-kwargs) pair each schema can run on out of the box."""
-    if name in ("2-coloring", "one-bit-2-coloring"):
-        return LocalGraph(cycle(n + n % 2), seed=seed), {}
-    if name in ("balanced-orientation",):
-        return LocalGraph(cycle(n), seed=seed), {}
-    if name == "one-bit-orientation":
-        return LocalGraph(cycle(max(n, 260)), seed=seed), {"walk_limit": 60}
-    if name in ("splitting", "delta-edge-coloring"):
-        side = max(12, n // 8)
-        return (
-            LocalGraph(random_bipartite_regular(side, 4, seed=seed), seed=seed),
-            {"spacing": 6},
-        )
-    if name == "delta-coloring":
-        graph, _ = planted_delta_colorable(max(n, 48), 4, seed=seed)
-        return LocalGraph(graph, seed=seed), {}
-    if name == "3-coloring":
-        graph, cert = planted_three_colorable(max(n, 40), seed=seed)
-        return LocalGraph(graph, seed=seed), {"coloring": cert}
-    if name == "lcl-subexp":
-        return (
-            LocalGraph(cycle(max(n, 120)), seed=seed),
-            {"problem": vertex_coloring(3), "x": 6},
-        )
-    if name == "one-bit-lcl":
-        return (
-            LocalGraph(cycle(48), seed=seed),
-            {"problem": vertex_coloring(3), "x": 24},
-        )
-    raise KeyError(name)
 
 
 def run_one(
     name: str, n: int, seed: int, tracer: Optional[Tracer] = None
 ) -> SchemaRun:
-    graph, kwargs = _default_instance(name, n, seed)
+    graph, kwargs = default_instance(name, n, seed)
     schema = make_schema(name, **kwargs)
     return schema.run(graph, tracer=tracer)
 
@@ -139,11 +102,15 @@ def main(argv: Optional[list] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
+    if argv and argv[0] == "lint":
+        from .analysis.cli import lint_main
+
+        return lint_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Run the paper's advice schemas on demo instances "
-        "(see also: python -m repro trace <schema>).",
+        "(see also: python -m repro trace <schema>, python -m repro lint).",
     )
     parser.add_argument(
         "schema",

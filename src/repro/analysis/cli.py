@@ -1,0 +1,141 @@
+"""``python -m repro lint``: the linter's command-line front end.
+
+Default run: the static rule engine over the LOCAL-contract roots plus
+the dynamic order-invariance harnesses (every ``mark_order_invariant``
+claim re-checked empirically).  Options:
+
+``--fuzz``
+    additionally re-run every registered schema under identifier remaps
+    and permutations (:func:`repro.analysis.fuzz.fuzz_all`);
+``--json``
+    machine-readable report (what CI archives as an artifact);
+``--fix-waivers``
+    insert ``TODO``-justified waiver decorators above each unwaived
+    finding — the TODOs then fail the next lint run via WVR001's
+    justification requirement, so a human must still write the reasons;
+``--static-only``
+    skip the dynamic harnesses (pure AST pass, no imports of the code
+    under analysis).
+
+Exit status is 0 iff no unwaived static violation, no failed harness, and
+(with ``--fuzz``) no order-invariance divergence.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .engine import DEFAULT_ROOTS, apply_waiver_fixes, run_lint, source_root
+
+__all__ = ["lint_main"]
+
+
+def lint_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description="Statically verify the LOCAL-model contract "
+        "(locality, determinism, order invariance) over "
+        + ", ".join(f"repro.{r}" for r in DEFAULT_ROOTS)
+        + ".",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit a machine-readable report"
+    )
+    parser.add_argument(
+        "--fuzz",
+        action="store_true",
+        help="also fuzz every registered schema under identifier remaps",
+    )
+    parser.add_argument(
+        "--fix-waivers",
+        action="store_true",
+        help="insert TODO-justified waiver decorators for unwaived findings",
+    )
+    parser.add_argument(
+        "--static-only",
+        action="store_true",
+        help="skip the dynamic order-invariance harnesses",
+    )
+    parser.add_argument(
+        "--root",
+        action="append",
+        dest="roots",
+        metavar="SUBPACKAGE",
+        help="repro subpackage to scan (repeatable; default: "
+        + " ".join(DEFAULT_ROOTS)
+        + ")",
+    )
+    args = parser.parse_args(argv if argv is not None else sys.argv[1:])
+
+    roots = tuple(args.roots) if args.roots else DEFAULT_ROOTS
+    if args.static_only:
+        report = run_lint(roots=roots, checked_refs=set())
+        # Without the harness registry loaded, ORD002 would fire on every
+        # claim; a static-only run checks the other rules.
+        report.violations = [v for v in report.violations if v.rule != "ORD002"]
+    else:
+        report = run_lint(roots=roots)
+
+    harnesses = {}
+    if not args.static_only:
+        from .fuzz import run_order_harnesses
+
+        harnesses = run_order_harnesses()
+    failed_harnesses = sorted(ref for ref, held in harnesses.items() if not held)
+
+    fuzz_results = []
+    if args.fuzz:
+        from .fuzz import fuzz_all
+
+        fuzz_results = fuzz_all()
+    failed_fuzz = [r for r in fuzz_results if not r.ok]
+
+    if args.fix_waivers and report.unwaived:
+        edited = apply_waiver_fixes(report)
+        if not args.json:
+            for path in edited:
+                print(f"inserted TODO waivers in {path}")
+            print("replace every TODO with a real justification, then re-run")
+
+    ok = (
+        report.exit_code == 0 and not failed_harnesses and not failed_fuzz
+    )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "static": report.as_dict(),
+                    "order_invariance_harnesses": harnesses,
+                    "fuzz": [r.as_dict() for r in fuzz_results],
+                    "ok": ok,
+                },
+                indent=2,
+                default=repr,
+            )
+        )
+    else:
+        print(report.format_text(root=source_root().parent))
+        if harnesses:
+            held = sum(1 for h in harnesses.values() if h)
+            print(
+                f"order-invariance harnesses: {held}/{len(harnesses)} claims "
+                "hold"
+            )
+            for ref in failed_harnesses:
+                print(f"  FAILED: {ref}")
+        if fuzz_results:
+            print(
+                f"schema fuzz: {sum(1 for r in fuzz_results if r.ok)}/"
+                f"{len(fuzz_results)} schemas stable under identifier "
+                "re-assignment"
+            )
+            for r in failed_fuzz:
+                for failure in r.failures:
+                    print(f"  {failure.summary()}")
+                for note in r.runtime_violations:
+                    print(f"  {note}")
+    return 0 if ok else 1

@@ -1,0 +1,55 @@
+"""Lint waivers: explicit, justified exemptions from the LOCAL contract.
+
+The linter (:mod:`repro.analysis.engine`) never silently ignores a
+violation: code that intentionally steps outside the contract must carry a
+decorator naming the rule it waives **and a justification string**, which
+the report renders next to the waived finding.  A waiver without a
+justification is itself a violation (rule WVR001).
+
+Two decorators exist:
+
+* :func:`repro.local.views.uses_global_knowledge` — the LOC001-specific
+  waiver, kept next to :class:`~repro.local.views.View` so decoders can
+  declare a dependence on ``n``/``Delta`` without importing the analysis
+  package;
+* :func:`lint_waiver` — the general form, usable for any rule code.
+
+Both attach a ``_lint_waivers`` mapping (``rule code -> reason``) to the
+function; the static pass reads the decorator syntax, the dynamic pass
+reads the attribute.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..local.views import uses_global_knowledge  # re-export; see module docstring
+
+__all__ = ["lint_waiver", "uses_global_knowledge", "waivers_of"]
+
+
+def lint_waiver(rule: str, reason: str) -> Callable:
+    """Waive ``rule`` for the decorated function, with a justification.
+
+    ``reason`` must be a non-empty string; the linter renders it in the
+    report so reviewers can audit every exemption.
+    """
+    if not isinstance(rule, str) or not rule.strip():
+        raise ValueError("lint_waiver requires a rule code, e.g. 'LOC002'")
+    if not isinstance(reason, str) or not reason.strip():
+        raise ValueError(
+            f"lint_waiver({rule!r}) requires a non-empty justification string"
+        )
+
+    def decorate(fn: Callable) -> Callable:
+        waivers = dict(getattr(fn, "_lint_waivers", {}))
+        waivers[rule] = reason
+        fn._lint_waivers = waivers
+        return fn
+
+    return decorate
+
+
+def waivers_of(fn: Callable) -> Dict[str, str]:
+    """The ``rule -> justification`` waivers attached to ``fn`` (runtime)."""
+    return dict(getattr(fn, "_lint_waivers", {}))

@@ -4,6 +4,7 @@ from .api import (
     available_schemas,
     compress_edges,
     decompress_edges,
+    default_instance,
     make_schema,
     solve_with_advice,
 )
@@ -21,6 +22,7 @@ __all__ = [
     "available_schemas",
     "compress_edges",
     "decompress_edges",
+    "default_instance",
     "load_advice",
     "load_compressed_edges",
     "load_run_report",

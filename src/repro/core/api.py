@@ -55,6 +55,53 @@ def available_schemas() -> List[str]:
     return sorted(_REGISTRY)
 
 
+def default_instance(name: str, n: int, seed: int) -> Tuple[LocalGraph, Dict]:
+    """A (graph, schema-kwargs) pair each schema can run on out of the box.
+
+    This is the demo/smoke instance used by ``python -m repro`` and by the
+    dynamic order-invariance fuzzer (:mod:`repro.analysis.fuzz`): every
+    registered schema name maps to a graph family it is guaranteed to
+    solve, so a failed run means a broken schema, not a bad instance.
+    """
+    from ..graphs import (
+        cycle,
+        planted_delta_colorable,
+        planted_three_colorable,
+        random_bipartite_regular,
+    )
+    from ..lcl import vertex_coloring
+
+    if name in ("2-coloring", "one-bit-2-coloring"):
+        return LocalGraph(cycle(n + n % 2), seed=seed), {}
+    if name in ("balanced-orientation",):
+        return LocalGraph(cycle(n), seed=seed), {}
+    if name == "one-bit-orientation":
+        return LocalGraph(cycle(max(n, 260)), seed=seed), {"walk_limit": 60}
+    if name in ("splitting", "delta-edge-coloring"):
+        side = max(12, n // 8)
+        return (
+            LocalGraph(random_bipartite_regular(side, 4, seed=seed), seed=seed),
+            {"spacing": 6},
+        )
+    if name == "delta-coloring":
+        graph, _ = planted_delta_colorable(max(n, 48), 4, seed=seed)
+        return LocalGraph(graph, seed=seed), {}
+    if name == "3-coloring":
+        graph, cert = planted_three_colorable(max(n, 40), seed=seed)
+        return LocalGraph(graph, seed=seed), {"coloring": cert}
+    if name == "lcl-subexp":
+        return (
+            LocalGraph(cycle(max(n, 120)), seed=seed),
+            {"problem": vertex_coloring(3), "x": 6},
+        )
+    if name == "one-bit-lcl":
+        return (
+            LocalGraph(cycle(48), seed=seed),
+            {"problem": vertex_coloring(3), "x": 24},
+        )
+    raise KeyError(name)
+
+
 def make_schema(name: str, **kwargs: object) -> AdviceSchema:
     """Instantiate a registered schema by name."""
     try:

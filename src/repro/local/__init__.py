@@ -14,16 +14,22 @@ from .model import (
     run_view_algorithm,
 )
 from .views import (
+    GlobalKnowledge,
+    GlobalKnowledgeUse,
     View,
     gather_all_views,
     gather_view,
     is_marked_order_invariant,
     mark_order_invariant,
+    track_global_knowledge,
+    uses_global_knowledge,
 )
 
 __all__ = [
     "CompiledGraph",
     "GatherAlgorithm",
+    "GlobalKnowledge",
+    "GlobalKnowledgeUse",
     "LocalGraph",
     "LocalGraphError",
     "LocalityTracker",
@@ -40,4 +46,6 @@ __all__ = [
     "mark_order_invariant",
     "run_message_passing",
     "run_view_algorithm",
+    "track_global_knowledge",
+    "uses_global_knowledge",
 ]

@@ -401,7 +401,7 @@ class GatherAlgorithm(MessagePassingAlgorithm):
             inputs={node_id: rec["input"] for node_id, rec in in_range.items()},
             advice={node_id: rec["advice"] for node_id, rec in in_range.items()},
             distances={node_id: rec["distance"] for node_id, rec in in_range.items()},
-            graph_n=self.ctx.n,
-            graph_max_degree=self.ctx.max_degree,
+            _graph_n=self.ctx.n,
+            _graph_max_degree=self.ctx.max_degree,
         )
         self.output = self.decide(view)

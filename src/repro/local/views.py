@@ -18,10 +18,109 @@ algorithms can be realized as finite lookup tables
 
 from __future__ import annotations
 
+import warnings
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Hashable, List, Mapping, Optional, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterator,
+    List,
+    Mapping,
+    NamedTuple,
+    Optional,
+    Tuple,
+)
 
 from .graph import LocalGraph, Node
+
+
+class GlobalKnowledge(NamedTuple):
+    """Non-local facts the LOCAL model grants every node up front (§3.2).
+
+    A decoder that reads these is *not* a pure function of its radius-T
+    view anymore: the same ball embedded in a different host graph decodes
+    differently.  That is sometimes legitimate (the model does hand nodes
+    ``n`` and ``Delta``), but it must be declared — see
+    :func:`uses_global_knowledge` and rule LOC001 of
+    :mod:`repro.analysis`.
+    """
+
+    n: int
+    max_degree: int
+
+
+class GlobalKnowledgeUse(NamedTuple):
+    """One recorded disclosure of global graph facts to a view consumer."""
+
+    center: Node
+    attr: str
+    via: str
+
+
+class _KnowledgeRecorder:
+    """Counts (and optionally collects) global-knowledge disclosures.
+
+    ``total`` is always maintained; event objects are only materialized
+    while a :func:`track_global_knowledge` block is active, so the hot
+    path stays one integer increment.
+    """
+
+    __slots__ = ("total", "_events")
+
+    def __init__(self) -> None:
+        self.total = 0
+        self._events: Optional[List[GlobalKnowledgeUse]] = None
+
+    def record(self, view: "View", attr: str, via: str) -> None:
+        self.total += 1
+        if self._events is not None:
+            self._events.append(
+                GlobalKnowledgeUse(center=view.center, attr=attr, via=via)
+            )
+
+
+GLOBAL_KNOWLEDGE_RECORDER = _KnowledgeRecorder()
+
+
+@contextmanager
+def track_global_knowledge() -> Iterator[List[GlobalKnowledgeUse]]:
+    """Collect every global-knowledge access made while the block runs.
+
+    Used by the dynamic half of the locality linter
+    (:mod:`repro.analysis.fuzz`) to catch decoders that read ``n`` or
+    ``Delta`` through a view at runtime, including through the deprecated
+    ``View.graph_n`` / ``View.graph_max_degree`` attributes.
+    """
+    recorder = GLOBAL_KNOWLEDGE_RECORDER
+    previous = recorder._events
+    events: List[GlobalKnowledgeUse] = []
+    recorder._events = events
+    try:
+        yield events
+    finally:
+        recorder._events = previous
+
+
+def uses_global_knowledge(reason: str):
+    """Waive rule LOC001 for a decoder that legitimately needs ``n``/``Delta``.
+
+    The justification string is mandatory and is rendered in lint reports;
+    an empty reason is rejected here and flagged by the static pass.
+    """
+    if not isinstance(reason, str) or not reason.strip():
+        raise ValueError(
+            "uses_global_knowledge requires a non-empty justification string"
+        )
+
+    def decorate(fn):
+        waivers = dict(getattr(fn, "_lint_waivers", {}))
+        waivers["LOC001"] = reason
+        fn._lint_waivers = waivers
+        return fn
+
+    return decorate
 
 
 @dataclass(frozen=True)
@@ -59,8 +158,50 @@ class View:
     inputs: Mapping[Node, object]
     advice: Mapping[Node, str]
     distances: Mapping[Node, int]
-    graph_n: int = 0
-    graph_max_degree: int = 0
+    _graph_n: int = 0
+    _graph_max_degree: int = 0
+
+    # -- global knowledge (gated) ----------------------------------------------
+
+    def global_knowledge(self) -> GlobalKnowledge:
+        """Explicitly read the non-local facts ``(n, Delta)``.
+
+        Every call is recorded (see :func:`track_global_knowledge`), and
+        the static pass requires callers inside view decoders to carry a
+        :func:`uses_global_knowledge` waiver — reading ``n`` or ``Delta``
+        makes the decoder's output depend on more than its radius-T view.
+        """
+        GLOBAL_KNOWLEDGE_RECORDER.record(self, "global_knowledge", "accessor")
+        return GlobalKnowledge(n=self._graph_n, max_degree=self._graph_max_degree)
+
+    @property
+    def graph_n(self) -> int:
+        """Deprecated shim for the old ungated field; use
+        :meth:`global_knowledge` (with a waiver) instead."""
+        warnings.warn(
+            "View.graph_n is deprecated; use View.global_knowledge().n "
+            "under a uses_global_knowledge waiver",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        GLOBAL_KNOWLEDGE_RECORDER.record(self, "graph_n", "deprecated-attribute")
+        return self._graph_n
+
+    @property
+    def graph_max_degree(self) -> int:
+        """Deprecated shim kept for the schemas that legitimately need
+        ``Delta``; records usage like :meth:`global_knowledge`."""
+        warnings.warn(
+            "View.graph_max_degree is deprecated; use "
+            "View.global_knowledge().max_degree under a "
+            "uses_global_knowledge waiver",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        GLOBAL_KNOWLEDGE_RECORDER.record(
+            self, "graph_max_degree", "deprecated-attribute"
+        )
+        return self._graph_max_degree
 
     # -- basic queries ---------------------------------------------------------
 
@@ -102,7 +243,7 @@ class View:
         return list(self._adjacency().get(v, ()))
 
     def degree(self, v: Node) -> int:
-        return len(self.neighbors(v))
+        return len(self._adjacency().get(v, ()))
 
     def nodes_sorted(self) -> List[Node]:
         return sorted(self.nodes, key=lambda v: self.ids[v])
@@ -119,17 +260,23 @@ class View:
         """
         order = self.nodes_sorted()
         rank = {v: i + 1 for i, v in enumerate(order)}
+        # Rename the nodes themselves to their ranks: node names carry the
+        # original identifier assignment, so keeping them would make two
+        # order-isomorphic views canonically unequal.
         return View(
-            center=self.center,
+            center=rank[self.center],
             radius=self.radius,
-            nodes=self.nodes,
-            edges=self.edges,
-            ids=rank,
-            inputs=self.inputs,
-            advice=self.advice,
-            distances=self.distances,
-            graph_n=self.graph_n,
-            graph_max_degree=self.graph_max_degree,
+            nodes=frozenset(rank.values()),
+            edges=frozenset(
+                (min(rank[u], rank[v]), max(rank[u], rank[v]))
+                for u, v in self.edges
+            ),
+            ids={r: r for r in rank.values()},
+            inputs={rank[v]: x for v, x in self.inputs.items() if v in rank},
+            advice={rank[v]: a for v, a in self.advice.items() if v in rank},
+            distances={rank[v]: d for v, d in self.distances.items()},
+            _graph_n=self._graph_n,
+            _graph_max_degree=self._graph_max_degree,
         )
 
     def order_signature(self) -> Tuple:
@@ -247,8 +394,8 @@ def _view_from_compiled(
         inputs={v: inputs.get(v) for v in distances},
         advice={v: advice.get(v, "") for v in distances},
         distances=distances,
-        graph_n=graph.n,
-        graph_max_degree=graph.max_degree,
+        _graph_n=graph.n,
+        _graph_max_degree=graph.max_degree,
     )
 
 

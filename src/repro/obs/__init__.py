@@ -15,6 +15,7 @@ Three pieces, designed to stay out of the hot path until asked for:
 from .failure import (
     FailureReport,
     build_error_report,
+    build_order_violation_report,
     build_violation_reports,
     view_fingerprint,
 )
@@ -46,6 +47,7 @@ __all__ = [
     "Tracer",
     "as_tracer",
     "build_error_report",
+    "build_order_violation_report",
     "build_violation_reports",
     "format_span_tree",
     "load_jsonl",

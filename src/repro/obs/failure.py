@@ -127,6 +127,44 @@ def build_violation_reports(
     return reports
 
 
+def build_order_violation_report(
+    schema_name: str,
+    graph: LocalGraph,
+    advice: Optional[Mapping[Node, str]],
+    node: Optional[Node],
+    baseline_label: object,
+    remapped_label: object,
+    check: str,
+    ring: Optional[RingSink] = None,
+) -> FailureReport:
+    """Attribution for an order-invariance violation (Section 8 contract).
+
+    Produced by the dynamic cross-checker (:mod:`repro.analysis.fuzz`) when
+    re-running a schema under an identifier re-assignment changes the label
+    of ``node`` (monotone remap) or invalidates the solution (permutation).
+    ``check`` names the re-assignment that exposed the divergence.
+    """
+    known = node is not None and graph.graph.has_node(node)
+    neighbors = graph.neighbors(node) if known else []
+    advice = advice or {}
+    return FailureReport(
+        schema_name=schema_name,
+        kind="order-invariance",
+        node=node,
+        node_id=graph.id_of(node) if known else None,
+        radius=1,
+        advice_bits=advice.get(node, "") if known else None,
+        neighbor_advice={u: advice.get(u, "") for u in neighbors},
+        view_hash=view_fingerprint(graph, node, 1, advice=advice) if known else None,
+        label=baseline_label,
+        trace_events=ring.touching_node(node) if (ring is not None and node is not None) else [],
+        error=(
+            f"{check}: label {baseline_label!r} became {remapped_label!r} "
+            "under identifier re-assignment"
+        ),
+    )
+
+
 def build_error_report(
     schema_name: str,
     graph: LocalGraph,

@@ -67,6 +67,7 @@ from ..advice.schema import (
     InvalidAdvice,
 )
 from ..algorithms.bfs import bfs_distances
+from ..analysis.waivers import lint_waiver
 from ..algorithms.ruling_set import distance_coloring
 from ..lcl.problem import Label, Labeling, LCLProblem
 from ..lcl.solve import solve_exact
@@ -452,7 +453,7 @@ class OneBitLCLSchema(AdviceSchema):
         run_ones = self._run_ones(graph, bits)
         inner = {v for v, d in phase_dist.items() if d <= cluster.alpha}
         blocked: Set[Node] = set()
-        for v in inner:
+        for v in sorted(inner, key=graph.id_of):
             if v in run_ones:
                 blocked.add(v)
                 blocked.update(graph.graph.neighbors(v))
@@ -645,6 +646,11 @@ class OneBitLCLSchema(AdviceSchema):
                 remaining -= members
         return centers
 
+    @lint_waiver(
+        "LOC002",
+        "existential scan: returns whether ANY candidate reaches the 2x "
+        "phase-graph limit, so the set iteration order cannot affect it",
+    )
     def _any_candidate_left(
         self, graph: LocalGraph, remaining: Set[Node], run_ones: Set[Node]
     ) -> bool:

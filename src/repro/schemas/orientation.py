@@ -34,7 +34,6 @@ converter.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
@@ -255,7 +254,7 @@ def place_anchors_lll(
     walk_limit: int,
     spacing: int,
     separation: int,
-    seed: Optional[int] = None,
+    seed: Optional[int] = 0,
     forward: bool = True,
 ) -> List[Anchor]:
     """The paper's shifting placement, made constructive.
@@ -266,6 +265,9 @@ def place_anchors_lll(
     nodes within graph distance ``separation``; Moser–Tardos resampling
     clears all bad events (this is exactly the object whose existence the
     paper's Lovász-Local-Lemma argument guarantees).
+
+    ``seed`` defaults to 0 so encoding is reproducible run-to-run; pass
+    ``None`` explicitly to resample with fresh entropy.
     """
     shift_range = max(1, spacing // 3)
     slots: List[Tuple[int, Trail, int]] = []  # (slot id, trail, base position)
@@ -367,7 +369,7 @@ class BalancedOrientationSchema(AdviceSchema):
         anchor_separation: int = 0,
         use_lll: bool = False,
         reverse_trails: bool = False,
-        seed: Optional[int] = None,
+        seed: Optional[int] = 0,
     ) -> None:
         self.name = "balanced-orientation"
         self.problem = balanced_orientation()
@@ -523,7 +525,7 @@ class OneBitOrientationSchema(AdviceSchema):
         self,
         walk_limit: Optional[int] = None,
         anchor_spacing: Optional[int] = None,
-        seed: Optional[int] = None,
+        seed: Optional[int] = 0,
     ) -> None:
         self.name = "one-bit-orientation"
         self.problem = balanced_orientation()

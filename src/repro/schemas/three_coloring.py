@@ -406,7 +406,7 @@ class ThreeColoringSchema(AdviceSchema):
         tracker.charge(2)
         labeling: Dict[Node, int] = {}
         type1 = {v for v in graph.nodes() if is_type1(v)}
-        for v in type1:
+        for v in sorted(type1, key=graph.id_of):
             labeling[v] = 1
 
         rest = [v for v in graph.nodes() if v not in type1]
@@ -466,7 +466,8 @@ class ThreeColoringSchema(AdviceSchema):
         clusters: List[Set[Node]] = []
         unassigned = set(group_bits)
         while unassigned:
-            seed = unassigned.pop()
+            seed = min(unassigned, key=graph.id_of)
+            unassigned.discard(seed)
             cluster = {seed}
             frontier = [seed]
             while frontier:

@@ -112,12 +112,14 @@ def _nearest_anchor_color(view: View) -> int:
     Anchors at minimal distance tie-break toward the smaller identifier;
     the color is the anchor's bit, flipped when the distance is odd.
     """
-    best = None  # (distance, anchor id, anchor)
-    for v in view.nodes:
-        if view.advice_of(v):
-            key = (view.distance(v), view.id_of(v))
-            if best is None or key < best[:2]:
-                best = (key[0], key[1], v)
+    best = min(
+        (
+            (view.distance(v), view.id_of(v), v)
+            for v in view.nodes
+            if view.advice_of(v)
+        ),
+        default=None,
+    )
     if best is None:
         raise InvalidAdvice(
             f"node {view.center!r}: no anchor within {view.radius} hops",

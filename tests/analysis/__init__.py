@@ -1,0 +1,1 @@
+"""Tests for repro.analysis — the locality & order-invariance linter."""

@@ -1,0 +1,155 @@
+"""Engine-level tests: shipped tree cleanliness, seeded-fixture failures,
+runtime closure inspection, and the --fix-waivers rewriter."""
+
+import json
+import textwrap
+
+from repro.analysis import apply_waiver_fixes, inspect_callable, run_lint
+from repro.analysis.cli import lint_main
+from repro.analysis.engine import source_root
+from repro.graphs import cycle
+from repro.local import LocalGraph
+
+
+class TestShippedTree:
+    def test_lint_clean(self):
+        """Acceptance: zero unwaived violations on the shipped tree."""
+        report = run_lint()
+        assert report.unwaived == [], "\n" + report.format_text()
+        assert report.exit_code == 0
+
+    def test_scans_the_contract_roots(self):
+        report = run_lint()
+        scanned = "\n".join(report.files)
+        for root in ("schemas", "algorithms", "lower_bounds"):
+            assert f"repro/{root}" in scanned
+        assert report.functions_checked > 100
+
+    def test_every_waiver_has_a_justification(self):
+        for violation in run_lint().waived:
+            assert violation.waiver_reason.strip(), violation.format()
+            assert "TODO" not in violation.waiver_reason, violation.format()
+
+    def test_report_round_trips_to_json(self):
+        payload = json.dumps(run_lint().as_dict())
+        decoded = json.loads(payload)
+        assert decoded["ok"] is True
+        assert decoded["rules"]["LOC001"]["title"]
+
+
+class TestSeededViolations:
+    def test_seeded_fixture_fails_lint(self, tmp_path):
+        """Acceptance: lint exits non-zero on a tree seeded with violations."""
+        pkg = tmp_path / "repro" / "schemas"
+        pkg.mkdir(parents=True)
+        (pkg / "bad.py").write_text(
+            textwrap.dedent(
+                """
+                import random
+
+                def decide(view):
+                    total = view.graph_n
+                    for v in view.nodes:
+                        total += random.randint(0, 1)
+                    return total
+                """
+            )
+        )
+        report = run_lint(src_root=tmp_path, roots=("schemas",))
+        assert report.exit_code == 1
+        assert {v.rule for v in report.unwaived} == {"LOC001", "LOC002"}
+
+    def test_cli_exit_codes(self, capsys):
+        assert lint_main(["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["static"]["unwaived"] == 0
+        assert all(payload["order_invariance_harnesses"].values())
+
+
+class TestInspectCallable:
+    def test_closure_over_graph_detected(self):
+        graph = LocalGraph(cycle(6))
+
+        def make():
+            def decide(view):
+                return graph.n
+
+            return decide
+
+        found = inspect_callable(make())
+        assert [v.rule for v in found] == ["LOC001"]
+        assert "graph" in found[0].message
+
+    def test_waived_closure_is_marked_waived(self):
+        from repro.local import uses_global_knowledge
+
+        graph = LocalGraph(cycle(6))
+
+        @uses_global_knowledge("decoder legitimately scales with n")
+        def decide(view):
+            return graph.n
+
+        (violation,) = inspect_callable(decide)
+        assert violation.waived
+
+    def test_pure_function_clean(self):
+        def decide(view):
+            return view.id_of(view.center)
+
+        assert inspect_callable(decide) == []
+
+
+class TestFixWaivers:
+    def test_inserts_todo_waivers_that_still_fail(self, tmp_path):
+        pkg = tmp_path / "repro" / "schemas"
+        pkg.mkdir(parents=True)
+        bad = pkg / "bad.py"
+        bad.write_text(
+            textwrap.dedent(
+                '''
+                """Fixture module."""
+
+                def decide(view):
+                    return view.graph_n
+
+                def other(view):
+                    pending = set(view.nodes)
+                    return pending.pop()
+                '''
+            )
+        )
+        report = run_lint(src_root=tmp_path, roots=("schemas",))
+        assert report.exit_code == 1
+        edited = apply_waiver_fixes(report)
+        assert edited == [str(bad)]
+        text = bad.read_text()
+        assert '@uses_global_knowledge("TODO' in text
+        assert '@lint_waiver("LOC002", "TODO' in text
+        assert "from repro.local import uses_global_knowledge" in text
+        assert "from repro.analysis import lint_waiver" in text
+        # The file must still parse, and the decorators must waive the
+        # original rules...
+        again = run_lint(src_root=tmp_path, roots=("schemas",))
+        assert {v.rule for v in again.violations if v.waived} == {
+            "LOC001",
+            "LOC002",
+        }
+        # ...but a TODO justification is not a passing state: a human must
+        # replace it (here: the repo-level no-TODO-waivers test).
+        assert all("TODO" in v.waiver_reason for v in again.waived)
+
+    def test_dry_run_leaves_file_alone(self, tmp_path):
+        pkg = tmp_path / "repro" / "schemas"
+        pkg.mkdir(parents=True)
+        bad = pkg / "bad.py"
+        bad.write_text("def decide(view):\n    return view.graph_n\n")
+        before = bad.read_text()
+        report = run_lint(src_root=tmp_path, roots=("schemas",))
+        apply_waiver_fixes(report, dry_run=True)
+        assert bad.read_text() == before
+
+
+class TestSourceRoot:
+    def test_points_at_src(self):
+        assert (source_root() / "repro" / "analysis").is_dir()

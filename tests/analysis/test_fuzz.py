@@ -1,0 +1,107 @@
+"""Dynamic cross-checker tests: ID-permutation fuzz over all registered
+schemas (an acceptance criterion) and the order-invariance harnesses."""
+
+import pytest
+
+from repro.analysis.fuzz import (
+    ORDER_INVARIANCE_CHECKED,
+    fuzz_all,
+    fuzz_schema,
+    run_order_harnesses,
+)
+from repro.core.api import available_schemas
+from repro.graphs import cycle
+from repro.local import LocalGraph, track_global_knowledge
+
+
+class TestOrderHarnesses:
+    def test_every_mark_claim_is_registered(self):
+        """ORD002's other half: the refs the static pass expects exist."""
+        assert set(ORDER_INVARIANCE_CHECKED) == {
+            "repro.schemas.two_coloring:_nearest_anchor_color",
+            "repro.lower_bounds.order_invariant:canonicalize.<locals>.wrapped",
+            "repro.lower_bounds.brute_force:parity_cycle_decoder.<locals>.decide",
+        }
+
+    def test_all_harnesses_hold(self):
+        results = run_order_harnesses()
+        assert results and all(results.values()), results
+
+
+class TestFuzzSchemas:
+    @pytest.mark.parametrize("name", available_schemas())
+    def test_schema_stable_under_id_reassignment(self, name):
+        """Acceptance: ID-permutation fuzz is green over every registered
+        schema — monotone remaps reproduce the labeling exactly, random
+        permutations keep it valid."""
+        result = fuzz_schema(name, n=48, seed=0)
+        assert result.ok, [f.summary() for f in result.failures] + list(
+            result.runtime_violations
+        )
+        assert "baseline" in result.checks
+        assert result.checks.count("monotone-remap") == 2
+        assert result.checks.count("random-permutation") == 2
+
+    def test_fuzz_all_covers_registry(self):
+        results = fuzz_all(n=24, seed=1, permutations=1)
+        assert [r.schema for r in results] == available_schemas()
+        assert all(r.ok for r in results)
+
+    def test_failure_report_on_order_dependent_schema(self):
+        """A deliberately order-dependent schema must produce an
+        order-invariance FailureReport under a monotone remap."""
+        from repro.advice.schema import DecodeResult, FunctionSchema
+        from repro.analysis.fuzz import _MONOTONE_REMAPS
+        from repro.obs.failure import build_order_violation_report
+
+        graph = LocalGraph(cycle(8), seed=5)
+        baseline = {v: graph.id_of(v) % 2 for v in graph.nodes()}
+        remap = _MONOTONE_REMAPS[0]
+        renamed = LocalGraph(
+            graph.graph, ids={v: remap(i) for v, i in graph.ids().items()}
+        )
+        remapped = {v: renamed.id_of(v) % 2 for v in renamed.nodes()}
+        bad = next(
+            v
+            for v in sorted(renamed.nodes(), key=renamed.id_of)
+            if baseline[v] != remapped[v]
+        )
+        report = build_order_violation_report(
+            "id-parity",
+            renamed,
+            {v: "" for v in renamed.nodes()},
+            bad,
+            baseline[bad],
+            remapped[bad],
+            check="monotone identifier remap",
+        )
+        assert report.kind == "order-invariance"
+        assert report.node == bad
+        assert "identifier re-assignment" in report.error
+        assert report.as_dict()["kind"] == "order-invariance"
+
+
+class TestGlobalKnowledgeTracking:
+    def test_accessor_reads_are_recorded(self):
+        from repro.local import gather_view
+
+        graph = LocalGraph(cycle(5))
+        view = gather_view(graph, 0, 1)
+        with track_global_knowledge() as reads:
+            knowledge = view.global_knowledge()
+        assert knowledge.n == 5
+        assert [r.attr for r in reads] == ["global_knowledge"]
+
+    def test_deprecated_shim_reads_are_recorded(self):
+        from repro.local import gather_view
+
+        graph = LocalGraph(cycle(5))
+        view = gather_view(graph, 0, 1)
+        with track_global_knowledge() as reads:
+            with pytest.warns(DeprecationWarning):
+                _ = view.graph_n
+        assert [r.via for r in reads] == ["deprecated-attribute"]
+
+    def test_schema_baseline_reads_counted(self):
+        result = fuzz_schema("2-coloring", n=16, seed=0)
+        assert result.global_knowledge_reads == 0

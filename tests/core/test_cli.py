@@ -27,10 +27,10 @@ class TestCLI:
             assert run.valid
 
     def test_all_registered_have_defaults(self):
-        from repro.__main__ import _default_instance
+        from repro.core.api import default_instance
 
         for name in available_schemas():
-            graph, kwargs = _default_instance(name, 60, 3)
+            graph, kwargs = default_instance(name, 60, 3)
             assert graph.n > 0
 
     def test_json_output(self, capsys):

@@ -17,7 +17,9 @@ from repro.local import (
 class TestViewEngine:
     def test_zero_rounds_outputs_degree(self):
         g = LocalGraph(star(3))
-        result = run_view_algorithm(g, 0, lambda view: view.graph_max_degree)
+        result = run_view_algorithm(
+            g, 0, lambda view: view.global_knowledge().max_degree
+        )
         assert result.rounds == 0
         assert all(out == 3 for out in result.outputs.values())
 

@@ -65,8 +65,9 @@ class TestGatherView:
     def test_graph_metadata(self):
         g = LocalGraph(cycle(9))
         view = gather_view(g, 0, 1)
-        assert view.graph_n == 9
-        assert view.graph_max_degree == 2
+        knowledge = view.global_knowledge()
+        assert knowledge.n == 9
+        assert knowledge.max_degree == 2
 
 
 class TestOrderSignature:

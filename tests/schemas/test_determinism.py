@@ -1,0 +1,81 @@
+"""Regression tests pinning the determinism fixes flagged by the linter.
+
+The static pass (``python -m repro lint``) found three classes of
+nondeterminism in the shipped schemas: unseeded ``random`` usage in the
+orientation anchor placement (LOC002), ``set.pop()`` / unsorted set
+iteration in the 3-coloring and sub-exponential LCL encoders (LOC002),
+and id-order-dependent tie-breaking in the 2-coloring decoder (ORD001).
+These tests pin the fixed behavior: identical runs must reproduce the
+exact same artifacts, with no "same distribution" escape hatch.
+"""
+
+from repro.algorithms import trail_decomposition
+from repro.graphs import cycle, planted_three_colorable
+from repro.graphs.planted import three_color_caterpillar
+from repro.local import LocalGraph
+from repro.schemas import (
+    BalancedOrientationSchema,
+    OneBitOrientationSchema,
+    ThreeColoringSchema,
+    TwoColoringSchema,
+    place_anchors_lll,
+)
+
+
+class TestLLLSeedPinning:
+    def test_default_seed_reproduces_anchors(self):
+        """``place_anchors_lll`` defaults to ``seed=0``: two calls with the
+        default must produce the identical anchor list, not merely
+        anchor lists of the same quality."""
+        g = LocalGraph(cycle(300), seed=8)
+        trails = trail_decomposition(g)
+        kwargs = dict(walk_limit=60, spacing=60, separation=5)
+        first = place_anchors_lll(g, trails, **kwargs)
+        second = place_anchors_lll(g, trails, **kwargs)
+        assert first == second
+        assert first  # the placement actually placed something
+
+    def test_explicit_none_still_accepted(self):
+        """``seed=None`` remains the opt-in resampling escape hatch."""
+        g = LocalGraph(cycle(120), seed=3)
+        trails = trail_decomposition(g)
+        anchors = place_anchors_lll(
+            g, trails, walk_limit=40, spacing=40, separation=4, seed=None
+        )
+        assert isinstance(anchors, list)
+
+    def test_orientation_schemas_reproduce_advice(self):
+        for schema_cls in (BalancedOrientationSchema, OneBitOrientationSchema):
+            g = LocalGraph(cycle(200), seed=11)
+            first = schema_cls().encode(g)
+            second = schema_cls().encode(g)
+            assert first == second, schema_cls.__name__
+
+
+class TestDecodeDeterminism:
+    def test_two_coloring_run_reproducible(self):
+        g = LocalGraph(cycle(48), seed=2)
+        schema = TwoColoringSchema(spacing=6)
+        first = schema.run(g)
+        second = schema.run(g)
+        assert first.valid and second.valid
+        assert first.result.labeling == second.result.labeling
+        assert first.advice == second.advice
+
+    def test_three_coloring_run_reproducible(self):
+        """The encoder used to seed component anchors via ``set.pop()``;
+        it now takes the minimum-id node, so repeated runs agree bit for
+        bit."""
+        graph, cert = planted_three_colorable(60, seed=5)
+        g = LocalGraph(graph, seed=15)
+        schema = ThreeColoringSchema(coloring=cert)
+        runs = [schema.run(g) for _ in range(2)]
+        assert all(r.valid for r in runs)
+        assert runs[0].advice == runs[1].advice
+        assert runs[0].result.labeling == runs[1].result.labeling
+
+    def test_three_coloring_caterpillar_reproducible(self):
+        graph, cert = three_color_caterpillar(200)
+        g = LocalGraph(graph, seed=8)
+        schema = ThreeColoringSchema(coloring=cert)
+        assert schema.encode(g) == schema.encode(g)
