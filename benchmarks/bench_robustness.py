@@ -1,0 +1,214 @@
+"""Robustness benchmark: detection rate, local-repair rate, and overhead.
+
+Two sections:
+
+1. **Corruption campaign** — a seeded :func:`repro.faults.run_campaign`
+   over every registered schema (``--runs`` fault plans, up to
+   ``--max-faults`` flipped/erased/truncated advice strings each).  The
+   per-schema detection and local-repair counts are deterministic given
+   the seed, so they are pinned by ``benchmarks/baselines/robustness.json``
+   with zero tolerance: any schema silently detecting less or escalating
+   more than before fails the ``bench-regression`` CI diff.
+2. **No-fault overhead** — the robust path run without a fault plan against
+   the plain ``schema.run`` driver on the same instances.  Timings are
+   machine-dependent and deliberately excluded from the baseline;
+   ``--max-overhead 0.10`` turns the ISSUE's <10% acceptance bound into a
+   hard exit code for local verification.
+
+Regenerate the baseline after an intentional repair-policy change::
+
+    PYTHONPATH=src python benchmarks/bench_robustness.py \
+        --out BENCH_robustness.json --write-baseline \
+        benchmarks/baselines/robustness.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from typing import Dict, List, Optional
+
+from repro.core.api import available_schemas, default_instance, make_schema
+from repro.faults import RobustRunner, run_campaign
+
+#: Campaign metrics pinned by the baseline — all deterministic per seed.
+ROBUSTNESS_TOLERANCES: Dict[str, float] = {
+    "harmful": 0.0,
+    "masked": 0.0,
+    "unexpected_errors": 0.0,
+    "detected": 0.0,
+    "repaired_locally": 0.0,
+    "escalated": 0.0,
+    "detection_rate": 0.0,
+    "local_repair_rate": 0.0,
+}
+
+#: Schemas timed for the no-fault overhead comparison: cheap decoders
+#: where the robust wrapper's bookkeeping would show up if it cost much.
+OVERHEAD_SCHEMAS = ("2-coloring", "balanced-orientation", "3-coloring")
+
+
+def campaign_cases(
+    runs: int, seed: int, n: int, max_faults: int
+) -> List[Dict[str, object]]:
+    result = run_campaign(runs=runs, seed=seed, n=n, max_faults=max_faults)
+    cases = []
+    for name, agg in result.per_schema.items():
+        case = {"case": name}
+        case.update(agg)
+        cases.append(case)
+    totals = {"case": "TOTALS"}
+    totals.update(result.totals)
+    cases.append(totals)
+    return cases
+
+
+def overhead_cases(
+    n: int, seed: int, repeats: int
+) -> List[Dict[str, object]]:
+    """Median wall time of plain vs robust (fault-free) runs per schema."""
+    cases = []
+    for name in OVERHEAD_SCHEMAS:
+        graph, kwargs = default_instance(name, n, seed)
+        plain_schema = make_schema(name, **kwargs)
+        robust_schema = make_schema(name, **kwargs)
+        runner = RobustRunner(robust_schema)
+
+        def timed(fn) -> float:
+            samples = []
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                run = fn()
+                samples.append(time.perf_counter() - t0)
+                assert run.valid
+            samples.sort()
+            return samples[len(samples) // 2]
+
+        plain_s = timed(lambda: plain_schema.run(graph))
+        robust_s = timed(lambda: runner.run(graph))
+        cases.append(
+            {
+                "case": f"overhead-{name}",
+                "plain_seconds": round(plain_s, 6),
+                "robust_seconds": round(robust_s, 6),
+                "overhead": round(robust_s / max(plain_s, 1e-9) - 1.0, 4),
+            }
+        )
+    return cases
+
+
+def main(argv: Optional[List[str]] = None) -> Dict[str, object]:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--runs", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--n", type=int, default=64)
+    parser.add_argument("--max-faults", type=int, default=4)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--out", default="BENCH_robustness.json")
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=0.0,
+        help="fail if fault-free robust overhead exceeds this fraction "
+        "(0 = record only; the acceptance bound is 0.10)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        help="also write the campaign baseline (robust metrics, zero "
+        "tolerance) to PATH",
+    )
+    args = parser.parse_args(argv)
+
+    cases = campaign_cases(args.runs, args.seed, args.n, args.max_faults)
+    overhead = overhead_cases(args.n, args.seed, args.repeats)
+    report = {
+        "benchmark": "robustness",
+        "params": {
+            "runs": args.runs,
+            "seed": args.seed,
+            "n": args.n,
+            "max_faults": args.max_faults,
+        },
+        "cases": cases,
+        "overhead_cases": overhead,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+    for case in cases:
+        print(
+            f"{case['case']:>24}: harmful {case['harmful']:3d}, "
+            f"detected {case['detected']:3d} "
+            f"({case['detection_rate']:.0%}), "
+            f"local {case['repaired_locally']:3d} "
+            f"({case['local_repair_rate']:.0%}), "
+            f"escalated {case['escalated']}"
+        )
+    worst = 0.0
+    for case in overhead:
+        worst = max(worst, case["overhead"])
+        print(
+            f"{case['case']:>24}: plain {case['plain_seconds']:.4f}s, "
+            f"robust {case['robust_seconds']:.4f}s "
+            f"({case['overhead']:+.1%})"
+        )
+    print(f"wrote {args.out}")
+
+    if args.write_baseline:
+        from common import write_baseline
+
+        write_baseline(report, args.write_baseline, ROBUSTNESS_TOLERANCES)
+        print(f"wrote {args.write_baseline}")
+
+    totals = cases[-1]
+    if totals["detection_rate"] < 1.0 or totals["invalid_final"]:
+        raise SystemExit(
+            f"campaign failed: detection {totals['detection_rate']:.1%}, "
+            f"{totals['invalid_final']} runs ended invalid"
+        )
+    if totals["local_repair_rate"] < 0.8:
+        raise SystemExit(
+            f"local repair rate {totals['local_repair_rate']:.1%} below "
+            "the 80% acceptance bound"
+        )
+    if args.max_overhead and worst > args.max_overhead:
+        raise SystemExit(
+            f"fault-free overhead {worst:.1%} above {args.max_overhead:.0%}"
+        )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry point (small smoke campaign)
+# ---------------------------------------------------------------------------
+
+
+def test_robustness_smoke(benchmark):
+    from .common import print_table, run_once
+
+    rows = run_once(benchmark, lambda: campaign_cases(30, 0, 48, 3))
+    print_table(
+        "robustness: detection / local repair",
+        [
+            {
+                "case": r["case"],
+                "harmful": r["harmful"],
+                "detected": r["detected"],
+                "local": r["repaired_locally"],
+                "escalated": r["escalated"],
+            }
+            for r in rows
+        ],
+    )
+    totals = rows[-1]
+    assert totals["detection_rate"] == 1.0
+    assert totals["unexpected_errors"] == 0
+    assert totals["invalid_final"] == 0
+    assert totals["local_repair_rate"] >= 0.8
+
+
+if __name__ == "__main__":
+    main()

@@ -22,6 +22,7 @@ from .core.api import (
     make_schema,
     solve_with_advice,
 )
+from .faults import FaultPlan, RobustRunner, run_campaign
 from .local.graph import LocalGraph
 from .obs import (
     NULL_TRACER,
@@ -29,6 +30,7 @@ from .obs import (
     JsonlSink,
     MetricsRegistry,
     RingSink,
+    RobustnessReport,
     Tracer,
 )
 from .perf import SimStats
@@ -39,11 +41,14 @@ __all__ = [
     "AdviceSchema",
     "DecodeResult",
     "FailureReport",
+    "FaultPlan",
     "JsonlSink",
     "LocalGraph",
     "MetricsRegistry",
     "NULL_TRACER",
     "RingSink",
+    "RobustRunner",
+    "RobustnessReport",
     "SchemaRun",
     "SimStats",
     "Tracer",
@@ -52,5 +57,6 @@ __all__ = [
     "compress_edges",
     "decompress_edges",
     "make_schema",
+    "run_campaign",
     "solve_with_advice",
 ]

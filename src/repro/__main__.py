@@ -13,6 +13,12 @@ JSONL file and a span-tree summary plus the telemetry is printed.
 ``python -m repro lint [--json] [--fuzz] [--fix-waivers]`` runs the
 locality & order-invariance linter (:mod:`repro.analysis`) over the
 LOCAL-contract code and exits non-zero on unwaived violations.
+
+``python -m repro chaos [--runs N] [--seed S] [--json] [--out FILE]``
+runs the seeded corruption campaign (:mod:`repro.faults`): every schema
+gets flipped/erased/truncated advice bits and must either self-heal
+locally or escalate visibly; exits non-zero unless detection is 100% and
+every run ends valid.
 """
 
 from __future__ import annotations
@@ -20,7 +26,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Optional
+from typing import Dict, Optional
 
 from .advice.schema import SchemaRun
 from .core.api import available_schemas, default_instance, make_schema
@@ -83,6 +89,83 @@ def trace_main(argv: list) -> int:
     return 0 if run.valid else 1
 
 
+def chaos_main(argv: list) -> int:
+    """``python -m repro chaos``: the seeded fault-injection campaign."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos",
+        description="Corrupt every schema's advice under seeded fault plans "
+        "and check the robust runner detects and locally repairs the damage.",
+    )
+    parser.add_argument(
+        "--runs", type=int, default=200, help="campaign size (default 200)"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="campaign seed")
+    parser.add_argument("--n", type=int, default=64, help="instance size hint")
+    parser.add_argument(
+        "--max-faults",
+        type=int,
+        default=4,
+        help="max corrupted advice strings per run (default 4)",
+    )
+    parser.add_argument(
+        "--schema",
+        action="append",
+        choices=available_schemas(),
+        help="restrict to this schema (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full campaign report as JSON",
+    )
+    parser.add_argument(
+        "--out", default=None, help="also write the JSON report to this file"
+    )
+    args = parser.parse_args(argv)
+
+    from .faults import run_campaign
+
+    result = run_campaign(
+        runs=args.runs,
+        seed=args.seed,
+        schemas=args.schema,
+        n=args.n,
+        max_faults=args.max_faults,
+    )
+    payload = result.as_dict()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        totals = result.totals
+        print(
+            f"chaos campaign: {totals['runs']} runs, "
+            f"{totals['harmful']} harmful, {totals['masked']} masked"
+        )
+        header = (
+            f"{'schema':24s} {'harmful':>7s} {'detected':>8s} "
+            f"{'local':>6s} {'escalated':>9s}"
+        )
+        print(header)
+        print("-" * len(header))
+        for name, agg in result.per_schema.items():
+            print(
+                f"{name:24s} {agg['harmful']:7d} {agg['detected']:8d} "
+                f"{agg['repaired_locally']:6d} {agg['escalated']:9d}"
+            )
+        print(
+            f"detection {totals['detection_rate']:.1%}, "
+            f"local repair {totals['local_repair_rate']:.1%}, "
+            f"radius histogram {totals['repair_radius_hist']}"
+        )
+        if not result.ok:
+            print("CHAOS FAILURE: see per-run records (--json) for details")
+    return 0 if result.ok else 1
+
+
 def _json_record(name: str, run: SchemaRun) -> Dict[str, object]:
     return {
         "schema": name,
@@ -106,6 +189,8 @@ def main(argv: Optional[list] = None) -> int:
         from .analysis.cli import lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        return chaos_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",

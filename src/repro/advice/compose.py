@@ -22,12 +22,12 @@ from dataclasses import dataclass
 from typing import Callable, List, Mapping, Optional, Sequence
 
 from ..local.graph import LocalGraph, Node
-from .bitstream import pack_parts, unpack_parts
+from .bitstream import CodecError, pack_parts, unpack_parts
 from .schema import (
-    AdviceError,
     AdviceMap,
     AdviceSchema,
     DecodeResult,
+    InvalidAdvice,
     OracleSchema,
 )
 from .sparsity import max_holders_in_ball
@@ -70,7 +70,9 @@ class ComposedSchema(AdviceSchema):
             try:
                 part1, part2 = unpack_parts(packed, 2)
             except Exception as exc:  # CodecError and friends
-                raise AdviceError(f"corrupt composed advice at {v!r}") from exc
+                raise InvalidAdvice(
+                    f"corrupt composed advice at {v!r}", node=v
+                ) from exc
             advice1[v] = part1
             advice2[v] = part2
         result1 = self.first.decode(graph, advice1)
@@ -84,6 +86,40 @@ class ComposedSchema(AdviceSchema):
                 "oracle_labeling": result1.labeling,
             },
         )
+
+    def _packed_ok(self, packed: str) -> bool:
+        """Is ``packed`` parseable all the way down the composition?"""
+        try:
+            part1, _ = unpack_parts(packed, 2)
+        except CodecError:
+            return False
+        inner = getattr(self.first, "_packed_ok", None)
+        if inner is not None and part1:
+            return bool(inner(part1))
+        return True
+
+    def repair_advice(
+        self,
+        graph: LocalGraph,
+        advice: Mapping[Node, str],
+        node: Node,
+        radius: int,
+    ) -> Optional[AdviceMap]:
+        """Blank unparseable packed strings near the failure.
+
+        An empty string reads as "no parts at either level", which every
+        layer of the composition accepts, so dropping a corrupt packing is
+        always a safe (if lossy) local rewrite; missing anchors that
+        result are caught by the verifier and healed downstream.
+        """
+        patched = dict(advice)
+        changed = False
+        for u in graph.ball(node, radius):
+            packed = patched.get(u, "")
+            if packed and not self._packed_ok(packed):
+                patched[u] = ""
+                changed = True
+        return patched if changed else None
 
 
 def compose(first: AdviceSchema, second: OracleSchema) -> ComposedSchema:

@@ -56,19 +56,33 @@ class InvalidAdvice(AdviceError):
 
 
 def validate_advice_map(graph: LocalGraph, advice: Mapping[Node, str]) -> None:
-    """Raise :class:`AdviceError` unless every label is a bit-string."""
-    for v in graph.nodes():
+    """Raise :class:`AdviceError` unless the map is well-formed.
+
+    Every label must be a bit-string, and every key must name a node of
+    ``graph`` — a stray key means the encoder (or an injected fault)
+    addressed a node that does not exist, which no LOCAL decoder could
+    ever read.
+    """
+    members = set(graph.nodes())
+    for v in advice:
+        if v not in members:
+            raise AdviceError(f"advice key {v!r} is not a node of the graph", node=v)
+    for v in members:
         bits = advice.get(v, "")
         if any(b not in "01" for b in bits):
-            raise AdviceError(f"advice of {v!r} is not a bit-string: {bits!r}")
+            raise AdviceError(
+                f"advice of {v!r} is not a bit-string: {bits!r}", node=v
+            )
 
 
 def classify_schema_type(graph: LocalGraph, advice: Mapping[Node, str]) -> str:
     """One of ``"uniform-fixed"``, ``"subset-fixed"``, ``"variable"``."""
     lengths = {len(advice.get(v, "")) for v in graph.nodes()}
-    positive = {l for l in lengths if l > 0}
-    if len(lengths) == 1:
+    if len(lengths) <= 1:
+        # A single length class — including the empty graph, which is
+        # vacuously uniform (every one of its zero nodes has equal length).
         return "uniform-fixed"
+    positive = {l for l in lengths if l > 0}
     if lengths == positive | {0} and len(positive) == 1:
         return "subset-fixed"
     return "variable"
@@ -121,6 +135,9 @@ class SchemaRun:
     valid: Optional[bool] = None
     telemetry: Dict[str, object] = field(default_factory=dict)
     failures: List[FailureReport] = field(default_factory=list)
+    #: set by the robust runner (:mod:`repro.faults`): the
+    #: :class:`repro.obs.robustness.RobustnessReport` of the run, if any.
+    robustness: Optional[object] = None
 
     @property
     def bits_per_node(self) -> float:
@@ -179,6 +196,36 @@ class AdviceSchema(abc.ABC):
         if self.problem is None:
             return []
         return violations(self.problem, graph, labeling)
+
+    # -- robustness hooks ----------------------------------------------------
+
+    def repair_problem(self, graph: LocalGraph) -> Optional[LCLProblem]:
+        """The LCL the robust runner verifies and ball-repairs against.
+
+        Defaults to :attr:`problem`.  Schemas whose target LCL depends on
+        the instance (Delta-coloring needs ``Delta = max_degree``) override
+        this; returning ``None`` disables label-level ball repair and the
+        runner falls through to advice-level strategies.
+        """
+        return self.problem
+
+    def repair_advice(
+        self,
+        graph: LocalGraph,
+        advice: Mapping[Node, str],
+        node: Node,
+        radius: int,
+    ) -> Optional[AdviceMap]:
+        """Schema-specific advice patch near ``node`` (decode-error repair).
+
+        Called by the robust runner when :meth:`decode` raised an
+        :class:`AdviceError` attributed to ``node``.  Implementations may
+        only rewrite bits within ``graph.ball(node, radius)`` — the patch
+        must stay radius-bounded so repair remains a local operation.
+        Return the patched map, or ``None`` when the schema has no
+        patch to offer (the runner then escalates).
+        """
+        return None
 
     # -- common driver -------------------------------------------------------
 

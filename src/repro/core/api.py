@@ -119,6 +119,9 @@ def solve_with_advice(
     check: bool = True,
     tracer: Optional[Tracer] = None,
     registry: Optional[MetricsRegistry] = None,
+    robust: bool = False,
+    fault_plan: Optional[object] = None,
+    robust_options: Optional[Dict[str, object]] = None,
     **kwargs: object,
 ) -> SchemaRun:
     """Encode, decode, and verify a schema on ``graph`` in one call.
@@ -127,11 +130,31 @@ def solve_with_advice(
     :meth:`AdviceSchema.run`; either way the returned run carries
     ``telemetry`` with the engine counters and the paper's observables, so
     callers no longer lose ``RunResult.stats`` at this boundary.
+
+    With ``robust=True`` (implied by passing a ``fault_plan``) the run goes
+    through the self-healing :class:`repro.faults.RobustRunner` instead:
+    the plan's faults are injected after encoding, decode errors and
+    verifier violations are repaired locally with escalating radius, and
+    the returned run carries a ``robustness`` report.  ``robust_options``
+    are forwarded to the :class:`~repro.faults.RobustRunner` constructor
+    (e.g. ``max_ball_radius``, ``max_solver_steps``).
     """
     if isinstance(schema, str):
         schema = make_schema(schema, **kwargs)
     elif kwargs:
         raise TypeError("kwargs are only accepted with a schema name")
+    if robust or fault_plan is not None:
+        from ..faults.runner import RobustRunner
+
+        runner = RobustRunner(
+            schema,
+            tracer=tracer,
+            registry=registry,
+            **(robust_options or {}),
+        )
+        return runner.run(graph, plan=fault_plan, check=check)
+    if robust_options:
+        raise TypeError("robust_options require robust=True or a fault_plan")
     return schema.run(graph, check=check, tracer=tracer, registry=registry)
 
 

@@ -1,0 +1,263 @@
+"""Turning a :class:`~repro.faults.plan.FaultPlan` into concrete faults.
+
+Every choice is drawn from an RNG keyed on the plan's seed plus a stable
+layer tag — and, for message faults, on ``(round, sender, port)`` — so
+injection is reproducible bit-for-bit and independent of the engine's
+iteration order.  Each landed fault is recorded as an
+:class:`InjectedFault` so reports can say exactly what was broken.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..local.graph import LocalGraph, Node
+from .plan import FaultPlan
+
+
+def _mix(*parts: object) -> int:
+    """Stable integer from a tuple of ints/strings (seeds sub-RNGs)."""
+    return zlib.crc32(repr(parts).encode("utf-8"))
+
+
+class _Crashed:
+    """Sentinel output of a fail-stop node (its only observable trace)."""
+
+    def __repr__(self) -> str:
+        return "<crashed>"
+
+
+CRASHED = _Crashed()
+
+
+@dataclass
+class InjectedFault:
+    """Record of one fault that actually landed.
+
+    ``layer`` is ``"advice"``, ``"message"`` or ``"crash"``; ``kind`` names
+    the concrete corruption (``flip``/``erase``/``truncate``/``swap``,
+    ``drop``/``duplicate``/``delay``, ``crash``).
+    """
+
+    layer: str
+    kind: str
+    node: object = None
+    before: Optional[str] = None
+    after: Optional[str] = None
+    round_index: Optional[int] = None
+    port: Optional[int] = None
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "layer": self.layer,
+            "kind": self.kind,
+            "node": repr(self.node) if self.node is not None else None,
+        }
+        if self.before is not None:
+            out["before"] = self.before
+        if self.after is not None:
+            out["after"] = self.after
+        if self.round_index is not None:
+            out["round"] = self.round_index
+        if self.port is not None:
+            out["port"] = self.port
+        if self.detail:
+            out["detail"] = {k: repr(v) for k, v in sorted(self.detail.items())}
+        return out
+
+
+class FaultInjector:
+    """Applies a plan's advice faults and builds the network-fault hook."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+
+    # -- advice layer --------------------------------------------------------
+
+    def corrupt_advice(
+        self, graph: LocalGraph, advice: Mapping[Node, str]
+    ) -> Tuple[Dict[Node, str], List[InjectedFault]]:
+        """Deterministically corrupted copy of ``advice`` plus fault records.
+
+        Flip/erase/truncate target bit-holding nodes; swap exchanges a
+        holder's string with another node's.  When no eligible target
+        remains (e.g. every string already erased), the remaining
+        injections are skipped — the report's ``injected`` list is the
+        ground truth of what landed.
+        """
+        plan = self.plan
+        working: Dict[Node, str] = {v: advice.get(v, "") for v in graph.nodes()}
+        faults: List[InjectedFault] = []
+        if not plan.wants_advice_faults:
+            return working, faults
+        rng = random.Random(_mix(plan.seed, "advice"))
+        nodes = sorted(working, key=graph.id_of)
+
+        def holders() -> List[Node]:
+            return [v for v in nodes if working[v]]
+
+        for _ in range(plan.advice_flips):
+            pool = holders()
+            if not pool:
+                break
+            v = rng.choice(pool)
+            bits = working[v]
+            i = rng.randrange(len(bits))
+            flipped = "1" if bits[i] == "0" else "0"
+            working[v] = bits[:i] + flipped + bits[i + 1 :]
+            faults.append(
+                InjectedFault(
+                    layer="advice",
+                    kind="flip",
+                    node=v,
+                    before=bits,
+                    after=working[v],
+                    detail={"bit": i},
+                )
+            )
+        for _ in range(plan.advice_erasures):
+            pool = holders()
+            if not pool:
+                break
+            v = rng.choice(pool)
+            bits = working[v]
+            working[v] = ""
+            faults.append(
+                InjectedFault(
+                    layer="advice", kind="erase", node=v, before=bits, after=""
+                )
+            )
+        for _ in range(plan.advice_truncations):
+            pool = holders()
+            if not pool:
+                break
+            v = rng.choice(pool)
+            bits = working[v]
+            working[v] = bits[: rng.randrange(len(bits))]
+            faults.append(
+                InjectedFault(
+                    layer="advice",
+                    kind="truncate",
+                    node=v,
+                    before=bits,
+                    after=working[v],
+                )
+            )
+        for _ in range(plan.advice_swaps):
+            pool = holders()
+            others = [u for u in nodes if len(nodes) > 1]
+            if not pool or len(nodes) < 2:
+                break
+            v = rng.choice(pool)
+            u = rng.choice([w for w in others if w != v])
+            working[v], working[u] = working[u], working[v]
+            faults.append(
+                InjectedFault(
+                    layer="advice",
+                    kind="swap",
+                    node=v,
+                    before=working[u],
+                    after=working[v],
+                    detail={"with": u},
+                )
+            )
+        return working, faults
+
+    # -- message + crash layers ----------------------------------------------
+
+    def network(self, graph: LocalGraph) -> "NetworkFaults":
+        """The hook object :func:`run_message_passing` consumes."""
+        return NetworkFaults(self.plan, graph)
+
+
+class NetworkFaults:
+    """Message/crash fault oracle passed to the message-passing engine.
+
+    The engine calls :meth:`crashes_at` once per round and :meth:`fate`
+    once per sent message; both are pure functions of the plan seed and
+    their arguments, so a run is replayable regardless of how the engine
+    iterates nodes.
+    """
+
+    def __init__(self, plan: FaultPlan, graph: LocalGraph) -> None:
+        self.plan = plan
+        self.crash_output = CRASHED
+        self.crash_round = plan.crash_round
+        self.faults: List[InjectedFault] = []
+        crashed = {v for v in plan.crash_nodes if graph.graph.has_node(v)}
+        if plan.crash_fraction > 0 and graph.n:
+            rng = random.Random(_mix(plan.seed, "crash"))
+            nodes = sorted(graph.nodes(), key=graph.id_of)
+            k = min(len(nodes), int(round(plan.crash_fraction * len(nodes))))
+            crashed.update(rng.sample(nodes, k))
+        self._id_of = {v: graph.id_of(v) for v in crashed}
+        self.crashed = frozenset(crashed)
+
+    @property
+    def active(self) -> bool:
+        return bool(self.crashed) or self.plan.wants_message_faults
+
+    def crashes_at(self, round_index: int) -> List[Node]:
+        """Nodes that fail-stop at the start of this round."""
+        if round_index != self.crash_round or not self.crashed:
+            return []
+        out = sorted(self.crashed, key=self._id_of.__getitem__)
+        for v in out:
+            self.faults.append(
+                InjectedFault(
+                    layer="crash", kind="crash", node=v, round_index=round_index
+                )
+            )
+        return out
+
+    def fate(self, round_index: int, sender_id: int, port: int) -> Tuple[int, ...]:
+        """Delivery offsets for one message: ``()`` drop, ``(0,)`` deliver,
+        ``(0, d)`` duplicate (the copy arrives ``d`` rounds late), ``(d,)``
+        delay."""
+        plan = self.plan
+        if not plan.wants_message_faults:
+            return (0,)
+        rng = random.Random(_mix(plan.seed, "msg", round_index, sender_id, port))
+        u = rng.random()
+        if u < plan.message_drop_rate:
+            self.faults.append(
+                InjectedFault(
+                    layer="message",
+                    kind="drop",
+                    round_index=round_index,
+                    port=port,
+                    detail={"sender_id": sender_id},
+                )
+            )
+            return ()
+        u -= plan.message_drop_rate
+        if u < plan.message_duplicate_rate:
+            delay = rng.randint(1, plan.max_delay)
+            self.faults.append(
+                InjectedFault(
+                    layer="message",
+                    kind="duplicate",
+                    round_index=round_index,
+                    port=port,
+                    detail={"sender_id": sender_id, "delay": delay},
+                )
+            )
+            return (0, delay)
+        u -= plan.message_duplicate_rate
+        if u < plan.message_delay_rate:
+            delay = rng.randint(1, plan.max_delay)
+            self.faults.append(
+                InjectedFault(
+                    layer="message",
+                    kind="delay",
+                    round_index=round_index,
+                    port=port,
+                    detail={"sender_id": sender_id, "delay": delay},
+                )
+            )
+            return (delay,)
+        return (0,)

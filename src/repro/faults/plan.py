@@ -1,0 +1,131 @@
+"""Deterministic fault plans.
+
+A :class:`FaultPlan` declares *what* to break — advice bits, messages,
+nodes — and a seed that makes every injection reproducible bit-for-bit.
+The plan itself is pure data; :mod:`repro.faults.inject` turns it into
+concrete corruptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded description of the faults to inject into one run.
+
+    Advice-layer faults (applied to the encoded ``AdviceMap`` before
+    decode): ``advice_flips`` single-bit flips, ``advice_erasures`` whole
+    per-node erasures, ``advice_truncations`` prefix cuts and
+    ``advice_swaps`` exchanges of two nodes' bit-strings.
+
+    Message-layer faults (applied inside
+    :func:`repro.local.model.run_message_passing`): each message is
+    independently dropped / duplicated / delayed with the given rates,
+    decided by a per-message RNG keyed on ``(seed, round, sender, port)``
+    so outcomes do not depend on engine iteration order.
+
+    Crash faults: ``crash_nodes`` (plus a ``crash_fraction`` sample) fail
+    by stopping at the start of round ``crash_round`` — they emit the
+    sentinel output and never send or receive again.
+    """
+
+    seed: int = 0
+    # -- advice layer --------------------------------------------------------
+    advice_flips: int = 0
+    advice_erasures: int = 0
+    advice_truncations: int = 0
+    advice_swaps: int = 0
+    # -- message layer -------------------------------------------------------
+    message_drop_rate: float = 0.0
+    message_duplicate_rate: float = 0.0
+    message_delay_rate: float = 0.0
+    #: delayed messages arrive 1..max_delay rounds late.
+    max_delay: int = 2
+    # -- crash layer ---------------------------------------------------------
+    crash_nodes: Tuple[object, ...] = field(default_factory=tuple)
+    crash_fraction: float = 0.0
+    crash_round: int = 0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "advice_flips",
+            "advice_erasures",
+            "advice_truncations",
+            "advice_swaps",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        rates = (
+            self.message_drop_rate,
+            self.message_duplicate_rate,
+            self.message_delay_rate,
+        )
+        if any(not 0.0 <= r <= 1.0 for r in rates):
+            raise ValueError("message fault rates must lie in [0, 1]")
+        if sum(rates) > 1.0:
+            raise ValueError("message fault rates must sum to <= 1")
+        if not 0.0 <= self.crash_fraction <= 1.0:
+            raise ValueError("crash_fraction must lie in [0, 1]")
+        if self.max_delay < 1:
+            raise ValueError("max_delay must be >= 1")
+        if self.crash_round < 0:
+            raise ValueError("crash_round must be >= 0")
+
+    # -- classification ------------------------------------------------------
+
+    @property
+    def advice_faults(self) -> int:
+        return (
+            self.advice_flips
+            + self.advice_erasures
+            + self.advice_truncations
+            + self.advice_swaps
+        )
+
+    @property
+    def wants_advice_faults(self) -> bool:
+        return self.advice_faults > 0
+
+    @property
+    def wants_message_faults(self) -> bool:
+        return (
+            self.message_drop_rate > 0
+            or self.message_duplicate_rate > 0
+            or self.message_delay_rate > 0
+        )
+
+    @property
+    def wants_crashes(self) -> bool:
+        return bool(self.crash_nodes) or self.crash_fraction > 0
+
+    @property
+    def is_noop(self) -> bool:
+        return not (
+            self.wants_advice_faults
+            or self.wants_message_faults
+            or self.wants_crashes
+        )
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        """The same plan replayed under a different seed."""
+        return replace(self, seed=seed)
+
+    def describe(self) -> Dict[str, object]:
+        """Deterministic JSON-friendly summary (for reports/baselines)."""
+        return {
+            "seed": self.seed,
+            "advice_flips": self.advice_flips,
+            "advice_erasures": self.advice_erasures,
+            "advice_truncations": self.advice_truncations,
+            "advice_swaps": self.advice_swaps,
+            "message_drop_rate": self.message_drop_rate,
+            "message_duplicate_rate": self.message_duplicate_rate,
+            "message_delay_rate": self.message_delay_rate,
+            "max_delay": self.max_delay,
+            "crash_nodes": [repr(v) for v in self.crash_nodes],
+            "crash_fraction": self.crash_fraction,
+            "crash_round": self.crash_round,
+        }

@@ -200,6 +200,7 @@ def run_message_passing(
     max_rounds: int = 10_000,
     trace: Optional["MessageTrace"] = None,
     tracer=None,
+    faults=None,
 ) -> RunResult:
     """Run a synchronous message-passing algorithm until all nodes halt.
 
@@ -210,6 +211,14 @@ def run_message_passing(
     :class:`repro.obs.Tracer`) additionally records a
     ``run_message_passing`` span with one ``round`` event per executed
     round carrying the messages delivered in it.
+
+    ``faults`` (a :class:`repro.faults.inject.NetworkFaults`) injects
+    message and crash faults: every sent message is routed through
+    ``faults.fate(round, sender_id, port)`` (drop / duplicate / delay),
+    and nodes listed by ``faults.crashes_at(round)`` fail-stop — they
+    output ``faults.crash_output``, stop sending, and stop receiving
+    (in-flight messages to them are discarded).  ``faults=None`` keeps
+    the fault-free fast path byte-identical to before.
     """
     advice = advice or {}
     if tracer is None:
@@ -249,6 +258,11 @@ def run_message_passing(
                 nbrs_at[v] = nbrs
                 rev_port[v] = [compiled.port_of(u, v) for u in nbrs]
 
+        sender_ids: Dict[Node, int] = {}
+        pending: Dict[int, List] = {}  # delivery round -> [(target, port, msg)]
+        if faults is not None:
+            sender_ids = {v: graph.id_of(v) for v in nodes}
+
         rounds = 0
         with stats.phase("rounds"):
             while not all(algo.halted for algo in algos.values()):
@@ -256,12 +270,22 @@ def run_message_passing(
                     raise SimulationError(
                         f"no termination within {max_rounds} rounds"
                     )
+                if faults is not None:
+                    for v in faults.crashes_at(rounds):
+                        algo = algos[v]
+                        if not algo.halted:
+                            algo.output = faults.crash_output
                 delivered_before = stats.messages_delivered
                 outboxes = {
                     v: (algos[v].send(rounds) if not algos[v].halted else {})
                     for v in nodes
                 }
                 inboxes: Dict[Node, Dict[int, object]] = {v: {} for v in nodes}
+                if faults is not None:
+                    for target, in_port, message in pending.pop(rounds, ()):
+                        if not algos[target].halted:
+                            inboxes[target][in_port] = message
+                            stats.messages_delivered += 1
                 for v in nodes:
                     nbrs = nbrs_at[v]
                     back = rev_port[v]
@@ -270,8 +294,19 @@ def run_message_passing(
                             raise SimulationError(
                                 f"node {v!r} sent on invalid port {port}"
                             )
-                        inboxes[nbrs[port]][back[port]] = message
-                        stats.messages_delivered += 1
+                        if faults is None:
+                            inboxes[nbrs[port]][back[port]] = message
+                            stats.messages_delivered += 1
+                            continue
+                        for delay in faults.fate(rounds, sender_ids[v], port):
+                            if delay <= 0:
+                                if not algos[nbrs[port]].halted:
+                                    inboxes[nbrs[port]][back[port]] = message
+                                    stats.messages_delivered += 1
+                            else:
+                                pending.setdefault(rounds + delay, []).append(
+                                    (nbrs[port], back[port], message)
+                                )
                 if trace is not None:
                     trace.record_round(outboxes)
                 if tracing:

@@ -10,6 +10,8 @@ Three pieces, designed to stay out of the hot path until asked for:
   ``SchemaRun.telemetry``.
 * :mod:`repro.obs.failure` — ``FailureReport`` attribution for invalid
   labelings and decoder errors.
+* :mod:`repro.obs.robustness` — ``RobustnessReport``/``RepairAction``
+  records emitted by the self-healing runner (:mod:`repro.faults`).
 """
 
 from .failure import (
@@ -20,6 +22,7 @@ from .failure import (
     view_fingerprint,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .robustness import RepairAction, RobustnessReport
 from .trace import (
     NULL_TRACER,
     JsonlSink,
@@ -42,7 +45,9 @@ __all__ = [
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "RepairAction",
     "RingSink",
+    "RobustnessReport",
     "Span",
     "Tracer",
     "as_tracer",

@@ -1,0 +1,143 @@
+"""Robustness reporting: what the self-healing runner did and why.
+
+A fault-injected run (:mod:`repro.faults`) produces a
+:class:`RobustnessReport`: every injected fault, whether the corruption was
+*detected* (decoder raised or the verifier rejected), the sequence of
+:class:`RepairAction` attempts with their escalation radii, and whether the
+run healed locally or had to fall back to a global re-solve.  The report is
+deterministic given the fault plan's seed — two runs of the same plan emit
+byte-identical ``as_dict()`` payloads, which is what the chaos tests pin.
+
+The repair-locality doctrine (see ``docs/robustness.md``): an action counts
+as *local* when all the state it rewrites — output labels or advice bits —
+lies inside a radius-bounded ball around the failure; the *global* fallback
+is a fresh re-encode, the one unbounded centralized operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: RepairAction kinds, in escalation order.
+BALL_RESOLVE = "ball-resolve"
+ADVICE_PATCH = "advice-patch"
+ADVICE_REFETCH = "advice-refetch"
+GLOBAL_RESOLVE = "global-resolve"
+
+#: The kinds that count as *local* repair (radius-bounded rewrites).
+LOCAL_KINDS = (BALL_RESOLVE, ADVICE_PATCH, ADVICE_REFETCH)
+
+
+@dataclass
+class RepairAction:
+    """One repair attempt of the robust runner.
+
+    ``kind`` is one of :data:`BALL_RESOLVE` (brute-force re-solve of the
+    labels in a ball, Section 4's "complete by brute force" reused as a
+    repair primitive), :data:`ADVICE_PATCH` (a schema-specific rewrite of
+    the advice bits near the failure, e.g. synthesizing a fresh anchor),
+    :data:`ADVICE_REFETCH` (re-requesting the prover's bits for one ball),
+    or :data:`GLOBAL_RESOLVE` (the non-local fallback: full re-encode).
+    """
+
+    kind: str
+    node: object
+    radius: int
+    success: bool
+    detail: str = ""
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "node": repr(self.node),
+            "radius": self.radius,
+            "success": self.success,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class RobustnessReport:
+    """Outcome record of one fault-injected, self-healed schema run."""
+
+    schema_name: str
+    seed: Optional[int] = None
+    #: injected fault records (``InjectedFault.as_dict()`` payloads).
+    injected: List[Dict[str, object]] = field(default_factory=list)
+    #: did the runner notice anything wrong (decode error or violation)?
+    detected: bool = False
+    decode_errors: int = 0
+    decode_attempts: int = 0
+    #: violations of the first successfully decoded labeling.
+    initial_violations: int = 0
+    actions: List[RepairAction] = field(default_factory=list)
+    #: the run fell back to a global re-solve.
+    escalated: bool = False
+    final_valid: bool = False
+
+    @property
+    def injected_count(self) -> int:
+        return len(self.injected)
+
+    @property
+    def locally_repaired(self) -> int:
+        """Successful radius-bounded repair actions."""
+        return sum(
+            1 for a in self.actions if a.success and a.kind in LOCAL_KINDS
+        )
+
+    @property
+    def repaired_locally(self) -> bool:
+        """Healed without ever resorting to the global fallback."""
+        return self.detected and self.final_valid and not self.escalated
+
+    @property
+    def repair_radius_hist(self) -> Dict[int, int]:
+        """radius -> number of successful local repairs at that radius."""
+        hist: Dict[int, int] = {}
+        for action in self.actions:
+            if action.success and action.kind in LOCAL_KINDS:
+                hist[action.radius] = hist.get(action.radius, 0) + 1
+        return dict(sorted(hist.items()))
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "schema": self.schema_name,
+            "seed": self.seed,
+            "injected": list(self.injected),
+            "injected_count": self.injected_count,
+            "detected": self.detected,
+            "decode_errors": self.decode_errors,
+            "decode_attempts": self.decode_attempts,
+            "initial_violations": self.initial_violations,
+            "actions": [a.as_dict() for a in self.actions],
+            "locally_repaired": self.locally_repaired,
+            "repaired_locally": self.repaired_locally,
+            "escalated": self.escalated,
+            "repair_radius_hist": {
+                str(r): c for r, c in self.repair_radius_hist.items()
+            },
+            "final_valid": self.final_valid,
+        }
+
+    def summary(self) -> str:
+        """One human-readable line (what the chaos CLI prints per run)."""
+        if not self.injected and not self.detected:
+            status = "clean"
+        elif not self.detected:
+            status = "masked"
+        elif self.escalated:
+            status = "escalated"
+        elif self.final_valid:
+            status = "repaired-locally"
+        else:
+            status = "UNREPAIRED"
+        radii = ",".join(
+            f"r{r}×{c}" for r, c in self.repair_radius_hist.items()
+        )
+        return (
+            f"{self.schema_name}: {status} "
+            f"(injected={self.injected_count}, detected={self.detected}, "
+            f"attempts={self.decode_attempts}, repairs=[{radii}])"
+        )

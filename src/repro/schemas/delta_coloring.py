@@ -108,7 +108,10 @@ class ClusterColoringSchema(AdviceSchema):
             (v for v in graph.nodes() if advice.get(v, "")), key=graph.id_of
         )
         if not centers and graph.n > 0:
-            raise InvalidAdvice("no cluster centers in advice")
+            raise InvalidAdvice(
+                "no cluster centers in advice",
+                node=min(graph.nodes(), key=graph.id_of),
+            )
         # Every node identifies its cluster like the encoder's Voronoi rule;
         # this costs spacing - 1 rounds (centers dominate at that radius).
         tracker.charge(self.spacing - 1)
@@ -140,7 +143,8 @@ class ClusterColoringSchema(AdviceSchema):
         missing = [v for v in graph.nodes() if v not in labeling]
         if missing:
             raise InvalidAdvice(
-                f"{len(missing)} nodes were not covered by any cluster"
+                f"{len(missing)} nodes were not covered by any cluster",
+                node=min(missing, key=graph.id_of),
             )
 
         # Linial reduction: one round per step, until no further shrinking.
@@ -389,13 +393,16 @@ class DeltaRepairSchema(OracleSchema):
             if not bits:
                 continue
             if len(bits) != 1 + width or bits[0] != "1":
-                raise InvalidAdvice(f"corrupt repair advice at {v!r}: {bits!r}")
+                raise InvalidAdvice(
+                    f"corrupt repair advice at {v!r}: {bits!r}", node=v
+                )
             labeling[v] = bits_to_int(bits[1:]) + 1
         tracker.charge(1)  # each node checks its neighborhood once
         leftovers = [v for v in graph.nodes() if labeling[v] > delta]
         if leftovers:
             raise InvalidAdvice(
-                f"{len(leftovers)} nodes still exceed {delta} colors"
+                f"{len(leftovers)} nodes still exceed {delta} colors",
+                node=min(leftovers, key=graph.id_of),
             )
         return DecodeResult(labeling=labeling, rounds=tracker.rounds)
 
@@ -437,3 +444,17 @@ class DeltaColoringSchema(AdviceSchema):
 
     def check_solution(self, graph: LocalGraph, labeling: Labeling) -> bool:
         return is_valid(vertex_coloring(graph.max_degree), graph, labeling)
+
+    def repair_problem(self, graph: LocalGraph):
+        return vertex_coloring(graph.max_degree)
+
+    def repair_advice(
+        self,
+        graph: LocalGraph,
+        advice: Mapping[Node, str],
+        node: Node,
+        radius: int,
+    ) -> Optional[AdviceMap]:
+        # The pipeline is a ComposedSchema chain; its generic packed-string
+        # scrub is the right advice-level repair here too.
+        return self._pipeline.repair_advice(graph, advice, node, radius)

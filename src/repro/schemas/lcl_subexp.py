@@ -51,6 +51,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 import networkx as nx
 
 from ..advice.bitstream import (
+    CodecError,
     bits_to_int,
     decode_stream,
     encode_payload,
@@ -236,7 +237,7 @@ def _bits_to_label(
     candidates = problem.candidate_labels(graph, v)
     index = bits_to_int(bits)
     if index >= len(candidates):
-        raise InvalidAdvice(f"label index {index} out of range at {v!r}")
+        raise InvalidAdvice(f"label index {index} out of range at {v!r}", node=v)
     return candidates[index]
 
 
@@ -262,7 +263,8 @@ def _complete_regions(
         )
         if solved is None:
             raise InvalidAdvice(
-                "region completion failed — advice inconsistent with problem"
+                "region completion failed — advice inconsistent with problem",
+                node=min(interior, key=graph.id_of),
             )
         labeling.update({v: solved[v] for v in interior})
     return labeling
@@ -323,6 +325,29 @@ class LCLSubexpSchema(AdviceSchema):
                 advice[v] = pack_parts([color_part, label_part])
         return advice
 
+    def repair_advice(
+        self,
+        graph: LocalGraph,
+        advice: Mapping[Node, str],
+        node: Node,
+        radius: int,
+    ) -> Optional[AdviceMap]:
+        """Blank unparseable packed strings near the failure; the decoder
+        treats a blank as "no center / no pinned label here" and the
+        region completion re-derives the lost labels by brute force."""
+        patched = dict(advice)
+        changed = False
+        for u in graph.ball(node, radius):
+            packed = patched.get(u, "")
+            if not packed:
+                continue
+            try:
+                unpack_parts(packed, 2)
+            except CodecError:
+                patched[u] = ""
+                changed = True
+        return patched if changed else None
+
     def decode(self, graph: LocalGraph, advice: Mapping[Node, str]) -> DecodeResult:
         tracker = LocalityTracker(graph)
         centers: Dict[Node, int] = {}
@@ -331,7 +356,12 @@ class LCLSubexpSchema(AdviceSchema):
             packed = advice.get(v, "")
             if not packed:
                 continue
-            color_part, label_part = unpack_parts(packed, 2)
+            try:
+                color_part, label_part = unpack_parts(packed, 2)
+            except CodecError as exc:
+                raise InvalidAdvice(
+                    f"corrupt packed advice at {v!r}", node=v
+                ) from exc
             if color_part:
                 centers[v] = bits_to_int(color_part)
             if label_part:
@@ -636,7 +666,12 @@ class OneBitLCLSchema(AdviceSchema):
                 if not self._any_candidate_left(graph, remaining, run_ones):
                     break
                 if color > graph.n + 1:
-                    raise InvalidAdvice("runaway phase loop — corrupt advice")
+                    raise InvalidAdvice(
+                        "runaway phase loop — corrupt advice",
+                        node=min(remaining, key=graph.id_of)
+                        if remaining
+                        else None,
+                    )
                 continue
             delta = graph.max_degree
             for v, dist in found:
@@ -740,7 +775,9 @@ class OneBitLCLSchema(AdviceSchema):
             widths = [_label_width(self.problem, graph, w) for w in strip]
             needed = sum(widths)
             if len(carriers) < needed:
-                raise InvalidAdvice("carrier set shorter than payload")
+                raise InvalidAdvice(
+                    "carrier set shorter than payload", node=cluster.center
+                )
             stream = "".join(
                 "1" if bits.get(c) == "1" else "0" for c in carriers[:needed]
             )
@@ -758,7 +795,9 @@ class OneBitLCLSchema(AdviceSchema):
         tracker = LocalityTracker(graph)
         for v in graph.nodes():
             if advice.get(v) not in ("0", "1"):
-                raise InvalidAdvice(f"node {v!r} lacks its single advice bit")
+                raise InvalidAdvice(
+                    f"node {v!r} lacks its single advice bit", node=v
+                )
         labeling = self._decode_bits(graph, advice)
         # Locality: the paper's 2^{O(x)} = O(1) bound; we report the
         # per-phase cost times a degree-scale phase count.

@@ -432,6 +432,37 @@ class BalancedOrientationSchema(AdviceSchema):
             detail={"oriented_edges": oriented},
         )
 
+    def repair_advice(
+        self,
+        graph: LocalGraph,
+        advice: Mapping[Node, str],
+        node: Node,
+        radius: int,
+    ) -> Optional[AdviceMap]:
+        """Scrub over-long anchor strings near the failure and plant a
+        fresh anchor on the failing node's first edge.
+
+        Anchor bits are ``tail = "1" + direction``, ``head = "1"``; any
+        longer string is corruption.  The planted anchor's direction is an
+        arbitrary-but-deterministic guess — a wrong guess yields a
+        verifier violation that the ball re-solve fixes in place.
+        """
+        patched = dict(advice)
+        changed = False
+        for u in graph.ball(node, radius):
+            bits = patched.get(u, "")
+            if len(bits) > 2 or any(b not in "01" for b in bits):
+                patched[u] = ""
+                changed = True
+        neighbors = graph.neighbors(node)
+        if neighbors and len(patched.get(node, "")) != 2:
+            head = min(neighbors, key=graph.id_of)
+            patched[node] = "11"
+            if patched.get(head, "") != "1":
+                patched[head] = "1"
+            changed = True
+        return patched if changed else None
+
     def _orient_edge(
         self,
         tracker: LocalityTracker,

@@ -20,13 +20,14 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 import networkx as nx
 
-from ..advice.bitstream import pack_parts, unpack_parts
+from ..advice.bitstream import CodecError, pack_parts, unpack_parts
 from ..advice.compose import ComposedSchema, compose
 from ..advice.schema import (
     AdviceError,
     AdviceMap,
     AdviceSchema,
     DecodeResult,
+    InvalidAdvice,
     OracleSchema,
 )
 from ..lcl.catalog import BLUE, RED, edge_coloring, splitting
@@ -78,7 +79,9 @@ class SplittingOracleSchema(OracleSchema):
                 elif (u, v) in oriented:
                     tail = u
                 else:
-                    raise AdviceError(f"edge {{{v!r},{u!r}}} not oriented")
+                    raise InvalidAdvice(
+                        f"edge {{{v!r},{u!r}}} not oriented", node=v
+                    )
                 row.append(RED if oracle[tail] == 1 else BLUE)
             labeling[v] = tuple(row)
         # +1 round: each node exchanges the colors of its incident edges.
@@ -171,6 +174,35 @@ class DeltaEdgeColoringSchema(AdviceSchema):
             merged[v] = pack_parts(parts) if any(parts) else ""
         return merged
 
+    def repair_problem(self, graph: LocalGraph):
+        return edge_coloring(graph.max_degree)
+
+    def repair_advice(
+        self,
+        graph: LocalGraph,
+        advice: Mapping[Node, str],
+        node: Node,
+        radius: int,
+    ) -> Optional[AdviceMap]:
+        """Blank packed strings near the failure that no longer parse into
+        the expected number of parts (missing anchors degrade to verifier
+        violations, healed by ball re-solve)."""
+        delta = graph.max_degree
+        levels = self._levels(delta)
+        total_parts = 1 + (2**levels - 1)
+        patched = dict(advice)
+        changed = False
+        for u in graph.ball(node, radius):
+            packed = patched.get(u, "")
+            if not packed:
+                continue
+            try:
+                unpack_parts(packed, total_parts)
+            except CodecError:
+                patched[u] = ""
+                changed = True
+        return patched if changed else None
+
     def decode(self, graph: LocalGraph, advice: Mapping[Node, str]) -> DecodeResult:
         delta = graph.max_degree
         levels = self._levels(delta)
@@ -178,9 +210,16 @@ class DeltaEdgeColoringSchema(AdviceSchema):
         parts: Dict[Node, List[str]] = {}
         for v in graph.nodes():
             packed = advice.get(v, "")
-            parts[v] = (
-                unpack_parts(packed, total_parts) if packed else [""] * total_parts
-            )
+            try:
+                parts[v] = (
+                    unpack_parts(packed, total_parts)
+                    if packed
+                    else [""] * total_parts
+                )
+            except CodecError as exc:
+                raise InvalidAdvice(
+                    f"corrupt packed advice at {v!r}", node=v
+                ) from exc
 
         two_coloring_schema = TwoColoringSchema(spacing=self.spacing)
         result_2col = two_coloring_schema.decode(

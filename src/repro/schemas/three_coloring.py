@@ -384,6 +384,30 @@ class ThreeColoringSchema(AdviceSchema):
 
     # -- decoding ------------------------------------------------------------
 
+    def repair_advice(
+        self,
+        graph: LocalGraph,
+        advice: Mapping[Node, str],
+        node: Node,
+        radius: int,
+    ):
+        """Normalize every bit near the failure to a legal single bit.
+
+        The schema's advice is exactly one bit per node, so any erased or
+        lengthened string can be coerced to ``"0"`` (the non-member bit).
+        A zeroed type-23 group degrades gracefully: the group is simply
+        not offered, and the verifier-driven ball re-solve recolors the
+        affected component locally.
+        """
+        patched = dict(advice)
+        changed = False
+        for u in graph.ball(node, radius):
+            bits = patched.get(u)
+            if bits not in ("0", "1"):
+                patched[u] = bits[0] if bits and bits[0] in "01" else "0"
+                changed = True
+        return patched if changed else None
+
     def decode(self, graph: LocalGraph, advice: Mapping[Node, str]) -> DecodeResult:
         tracker = LocalityTracker(graph)
         delta = max(1, graph.max_degree)
@@ -461,7 +485,10 @@ class ThreeColoringSchema(AdviceSchema):
             if advice[v] == "1" and v not in type1
         }
         if not group_bits:
-            raise InvalidAdvice("large component without type-23 groups")
+            raise InvalidAdvice(
+                "large component without type-23 groups",
+                node=min(component.nodes(), key=graph.id_of),
+            )
         # Cluster group bits: same group iff within `span` in the component.
         clusters: List[Set[Node]] = []
         unassigned = set(group_bits)

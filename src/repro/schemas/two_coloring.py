@@ -105,6 +105,32 @@ class TwoColoringSchema(AdviceSchema):
             stats=result.stats,
         )
 
+    def repair_advice(
+        self,
+        graph: LocalGraph,
+        advice: Mapping[Node, str],
+        node: Node,
+        radius: int,
+    ) -> Optional[AdviceMap]:
+        """Scrub malformed anchor bits near the failure; if the failing
+        node then has no anchor at all, synthesize one on the node itself.
+
+        The synthesized color may have the wrong parity — that surfaces as
+        a verifier violation and is healed by a ball re-solve, which keeps
+        the whole repair radius-bounded.
+        """
+        patched = dict(advice)
+        changed = False
+        for u in graph.ball(node, radius):
+            bits = patched.get(u, "")
+            if bits not in ("", "0", "1"):
+                patched[u] = bits[0] if bits[0] in "01" else ""
+                changed = True
+        if not patched.get(node, ""):
+            patched[node] = "0"
+            changed = True
+        return patched if changed else None
+
 
 def _nearest_anchor_color(view: View) -> int:
     """Color the view's center from the nearest advice-holding anchor.
@@ -246,7 +272,8 @@ class TwoColoringMessagePassing(MessagePassingAlgorithm):
     def _finish(self) -> None:
         if self.best is None:
             raise InvalidAdvice(
-                f"node {self.ctx.node!r}: no anchor wave arrived"
+                f"node {self.ctx.node!r}: no anchor wave arrived",
+                node=self.ctx.node,
             )
         anchor_id, color, distance = self.best
         self.output = color if distance % 2 == 0 else 3 - color

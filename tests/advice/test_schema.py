@@ -2,9 +2,12 @@
 
 import pytest
 
+import networkx as nx
+
 from repro.advice import (
     AdviceError,
     FunctionSchema,
+    InvalidAdvice,
     beta_of,
     classify_schema_type,
     total_bits,
@@ -51,6 +54,11 @@ class TestClassification:
         g = LocalGraph(path(3))
         assert classify_schema_type(g, {v: "" for v in g.nodes()}) == "uniform-fixed"
 
+    def test_empty_graph_is_uniform_fixed(self):
+        # Vacuously uniform: every one of its zero nodes has equal length.
+        g = LocalGraph(nx.Graph())
+        assert classify_schema_type(g, {}) == "uniform-fixed"
+
 
 class TestAccounting:
     def test_beta_and_total(self):
@@ -61,8 +69,30 @@ class TestAccounting:
 
     def test_validate_rejects_non_bits(self):
         g = LocalGraph(path(2))
-        with pytest.raises(AdviceError):
+        with pytest.raises(AdviceError) as info:
             validate_advice_map(g, {0: "1", 1: "2"})
+        assert info.value.node == 1
+
+    def test_validate_rejects_stray_node_keys(self):
+        g = LocalGraph(path(2))
+        with pytest.raises(AdviceError) as info:
+            validate_advice_map(g, {0: "1", 99: "0"})
+        assert info.value.node == 99
+
+    def test_truncated_packed_advice_is_invalid_not_a_crash(self):
+        # Regression: a holder's packed string cut below its length header
+        # used to over-read the bitstream; it must surface as InvalidAdvice
+        # naming the node, never as IndexError/ValueError.
+        from repro.core.api import default_instance, make_schema
+
+        graph, kwargs = default_instance("lcl-subexp", 32, 0)
+        schema = make_schema("lcl-subexp", **kwargs)
+        advice = schema.encode(graph)
+        holder = next(v for v in sorted(advice, key=graph.id_of) if advice[v])
+        advice[holder] = advice[holder][:3]  # shorter than the 8-bit header
+        with pytest.raises(InvalidAdvice) as info:
+            schema.decode(graph, advice)
+        assert info.value.node is not None
 
 
 class TestRunDriver:

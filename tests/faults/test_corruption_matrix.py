@@ -1,0 +1,56 @@
+"""Satellite: every schema x corruption kind behaves, never leaks.
+
+For each registered schema and each corruption kind, a plain decode of
+corrupted advice must end in exactly one of three sanctioned outcomes:
+
+- a valid solution (the corruption was masked),
+- an invalid labeling the verifier catches (detected downstream), or
+- an :class:`~repro.advice.AdviceError` (clean decode-time rejection).
+
+Anything else — a ``KeyError`` from a decoder internals, an
+``IndexError`` from the bitstream — is a leak.  And in every case the
+:class:`~repro.faults.RobustRunner` must end the run with a valid
+labeling.
+"""
+
+import pytest
+
+from repro.core.api import available_schemas, default_instance, make_schema
+from repro.faults import FaultInjector, RobustRunner
+from repro.faults.campaign import KINDS, _ground_truth, _plan_for
+
+N = 48
+
+
+@pytest.fixture(scope="module")
+def instances():
+    built = {}
+    for name in available_schemas():
+        graph, kwargs = default_instance(name, N, seed=0)
+        schema = make_schema(name, **kwargs)
+        built[name] = (graph, schema, schema.encode(graph))
+    return built
+
+
+@pytest.mark.parametrize("name", available_schemas())
+@pytest.mark.parametrize("kind", KINDS)
+def test_corruption_never_leaks_and_always_heals(instances, name, kind):
+    graph, schema, clean = instances[name]
+    outcomes = set()
+    for seed in range(3):
+        plan = _plan_for(kind, k=2, seed=seed)
+        corrupted, injected = FaultInjector(plan).corrupt_advice(graph, clean)
+        ground, error = _ground_truth(schema, graph, corrupted)
+        assert ground != "unexpected-error", (
+            f"{name} leaked a non-advice exception under {kind}: {error}"
+        )
+        outcomes.add(ground)
+        run = RobustRunner(schema).run(graph, plan, advice=clean)
+        assert run.valid, f"{name} ended invalid after {kind} (seed {seed})"
+        report = run.robustness
+        assert len(report.injected) == len(injected)
+        if ground in ("decode-error", "invalid-labeling"):
+            assert report.detected, (
+                f"{name} failed to detect a harmful {kind} (seed {seed})"
+            )
+    assert outcomes  # at least one seed actually injected something

@@ -1,0 +1,139 @@
+"""Deterministic advice corruption and the network-fault oracle."""
+
+from repro.faults import CRASHED, FaultInjector, FaultPlan
+from repro.graphs import cycle
+from repro.local import LocalGraph
+
+
+def _graph(n=12):
+    return LocalGraph(cycle(n), seed=0)
+
+
+def _advice(graph, bits="1010"):
+    return {v: bits for v in graph.nodes()}
+
+
+class TestAdviceCorruption:
+    def test_same_plan_same_corruption(self):
+        g = _graph()
+        plan = FaultPlan(seed=11, advice_flips=2, advice_truncations=1)
+        out1, faults1 = FaultInjector(plan).corrupt_advice(g, _advice(g))
+        out2, faults2 = FaultInjector(plan).corrupt_advice(g, _advice(g))
+        assert out1 == out2
+        assert [f.as_dict() for f in faults1] == [f.as_dict() for f in faults2]
+
+    def test_different_seeds_differ(self):
+        g = _graph()
+        base = _advice(g)
+        plan = FaultPlan(seed=0, advice_flips=3)
+        out_a, _ = FaultInjector(plan).corrupt_advice(g, base)
+        out_b, _ = FaultInjector(plan.with_seed(1)).corrupt_advice(g, base)
+        assert out_a != out_b
+
+    def test_flip_changes_exactly_one_bit_per_fault(self):
+        g = _graph()
+        plan = FaultPlan(seed=3, advice_flips=2)
+        out, faults = FaultInjector(plan).corrupt_advice(g, _advice(g))
+        assert len(faults) == 2
+        for fault in faults:
+            assert fault.kind == "flip"
+            assert len(fault.before) == len(fault.after)
+            diffs = sum(a != b for a, b in zip(fault.before, fault.after))
+            assert diffs == 1
+
+    def test_erase_empties_the_string(self):
+        g = _graph()
+        plan = FaultPlan(seed=3, advice_erasures=2)
+        out, faults = FaultInjector(plan).corrupt_advice(g, _advice(g))
+        assert len(faults) == 2
+        for fault in faults:
+            assert fault.kind == "erase"
+            assert out[fault.node] == "" or fault.after == ""
+
+    def test_truncate_yields_proper_prefix(self):
+        g = _graph()
+        plan = FaultPlan(seed=5, advice_truncations=3)
+        _, faults = FaultInjector(plan).corrupt_advice(g, _advice(g))
+        assert len(faults) == 3
+        for fault in faults:
+            assert fault.kind == "truncate"
+            assert fault.before.startswith(fault.after)
+            assert len(fault.after) < len(fault.before)
+
+    def test_swap_exchanges_two_nodes(self):
+        g = _graph(6)
+        base = {v: format(v, "03b") for v in g.nodes()}
+        plan = FaultPlan(seed=2, advice_swaps=1)
+        out, faults = FaultInjector(plan).corrupt_advice(g, base)
+        (fault,) = faults
+        assert fault.kind == "swap"
+        other = fault.detail["with"]
+        assert out[fault.node] == base[other]
+        assert out[other] == base[fault.node]
+
+    def test_injection_skipped_when_nothing_to_corrupt(self):
+        g = _graph()
+        empty = {v: "" for v in g.nodes()}
+        plan = FaultPlan(seed=1, advice_flips=4, advice_erasures=2)
+        out, faults = FaultInjector(plan).corrupt_advice(g, empty)
+        assert out == empty
+        assert faults == []
+
+    def test_untouched_nodes_keep_their_bits(self):
+        g = _graph()
+        base = _advice(g)
+        plan = FaultPlan(seed=9, advice_flips=1)
+        out, faults = FaultInjector(plan).corrupt_advice(g, base)
+        touched = {f.node for f in faults}
+        for v in g.nodes():
+            if v not in touched:
+                assert out[v] == base[v]
+
+
+class TestNetworkFaults:
+    def test_explicit_crash_nodes_intersected_with_graph(self):
+        g = _graph(6)
+        plan = FaultPlan(crash_nodes=(0, 3, 99))
+        net = FaultInjector(plan).network(g)
+        assert net.crashed == frozenset({0, 3})
+        assert net.active
+
+    def test_crash_fraction_sample_is_deterministic(self):
+        g = _graph(20)
+        plan = FaultPlan(seed=4, crash_fraction=0.25)
+        a = FaultInjector(plan).network(g).crashed
+        b = FaultInjector(plan).network(g).crashed
+        assert a == b
+        assert len(a) == 5
+
+    def test_crashes_fire_only_at_crash_round(self):
+        g = _graph(6)
+        plan = FaultPlan(crash_nodes=(2,), crash_round=3)
+        net = FaultInjector(plan).network(g)
+        assert net.crashes_at(0) == []
+        assert net.crashes_at(3) == [2]
+        assert net.crash_output is CRASHED
+
+    def test_fate_is_a_pure_function_of_its_arguments(self):
+        g = _graph()
+        plan = FaultPlan(seed=8, message_drop_rate=0.3, message_delay_rate=0.3)
+        net = FaultInjector(plan).network(g)
+        fates = [net.fate(r, s, p) for r in range(4) for s in range(6) for p in (0, 1)]
+        net2 = FaultInjector(plan).network(g)
+        # Query in reverse order: per-message keying makes order irrelevant.
+        fates2 = [
+            net2.fate(r, s, p)
+            for r in reversed(range(4))
+            for s in reversed(range(6))
+            for p in (1, 0)
+        ]
+        assert fates == list(reversed(fates2))
+        assert any(f == () for f in fates)  # some drops at these rates
+        assert any(f not in ((), (0,)) for f in fates)  # and some delays
+
+    def test_noop_plan_delivers_everything(self):
+        g = _graph()
+        net = FaultInjector(FaultPlan(seed=1)).network(g)
+        assert not net.active
+        assert net.fate(0, 0, 0) == (0,)
+        assert net.faults == []

@@ -1,0 +1,125 @@
+"""Message drop/duplicate/delay and fail-stop crashes in the engine."""
+
+from repro.faults import CRASHED, FaultInjector, FaultPlan
+from repro.graphs import cycle
+from repro.local import LocalGraph
+from repro.local.model import MessagePassingAlgorithm, run_message_passing
+
+ROUNDS = 3
+
+
+class _Collector(MessagePassingAlgorithm):
+    """Send my id on every port in round 0; collect for ROUNDS rounds.
+
+    The collection window is wider than the send round so delayed copies
+    (up to max_delay = ROUNDS - 1 rounds late) are still observed.
+    """
+
+    def init(self, ctx):
+        super().init(ctx)
+        self.got = []
+
+    def send(self, round_index):
+        if round_index == 0:
+            return {p: self.ctx.node_id for p in range(self.ctx.degree)}
+        return {}
+
+    def receive(self, round_index, messages):
+        self.got.extend(messages.values())
+        if round_index >= ROUNDS - 1:
+            self.output = sorted(self.got)
+
+
+def _graph(n=8):
+    return LocalGraph(cycle(n), seed=0)
+
+
+def _net(graph, **knobs):
+    return FaultInjector(FaultPlan(**knobs)).network(graph)
+
+
+def _baseline(graph):
+    return run_message_passing(graph, _Collector)
+
+
+class TestMessageFaults:
+    def test_noop_plan_matches_faultless_run(self):
+        g = _graph()
+        plain = _baseline(g)
+        hooked = run_message_passing(g, _Collector, faults=_net(g, seed=3))
+        assert hooked.outputs == plain.outputs
+        assert hooked.rounds == plain.rounds
+
+    def test_drop_everything_leaves_nodes_deaf(self):
+        g = _graph()
+        result = run_message_passing(
+            g, _Collector, faults=_net(g, message_drop_rate=1.0)
+        )
+        assert all(out == [] for out in result.outputs.values())
+
+    def test_delayed_messages_still_arrive(self):
+        g = _graph()
+        plain = _baseline(g)
+        result = run_message_passing(
+            g,
+            _Collector,
+            faults=_net(g, message_delay_rate=1.0, max_delay=1),
+        )
+        # Every message is one round late but inside the collection window.
+        assert result.outputs == plain.outputs
+
+    def test_duplicates_deliver_each_id_twice(self):
+        g = _graph()
+        plain = _baseline(g)
+        result = run_message_passing(
+            g,
+            _Collector,
+            faults=_net(g, message_duplicate_rate=1.0, max_delay=1),
+        )
+        for v, out in result.outputs.items():
+            assert out == sorted(plain.outputs[v] * 2)
+
+    def test_partial_drop_is_deterministic(self):
+        g = _graph()
+        knobs = dict(seed=7, message_drop_rate=0.5)
+        a = run_message_passing(g, _Collector, faults=_net(g, **knobs))
+        b = run_message_passing(g, _Collector, faults=_net(g, **knobs))
+        assert a.outputs == b.outputs
+        # 0.5 drop over 16 messages: some lost, some through.
+        lost = sum(
+            len(a.outputs[v]) < len(_baseline(g).outputs[v]) for v in g.nodes()
+        )
+        assert 0 < lost < g.n
+
+
+class TestCrashes:
+    def test_crashed_node_outputs_sentinel_and_goes_silent(self):
+        g = _graph()
+        plain = _baseline(g)
+        net = _net(g, crash_nodes=(0,), crash_round=0)
+        result = run_message_passing(g, _Collector, faults=net)
+        assert result.outputs[0] is CRASHED
+        crashed_id = g.id_of(0)
+        for v in g.nodes():
+            if v == 0:
+                continue
+            expected = [i for i in plain.outputs[v] if i != crashed_id]
+            assert result.outputs[v] == expected
+
+    def test_late_crash_after_send_still_counts_as_sent(self):
+        g = _graph()
+        plain = _baseline(g)
+        net = _net(g, crash_nodes=(0,), crash_round=1)
+        result = run_message_passing(g, _Collector, faults=net)
+        assert result.outputs[0] is CRASHED
+        # Node 0 sent in round 0, before its round-1 crash.
+        for v in g.nodes():
+            if v != 0:
+                assert result.outputs[v] == plain.outputs[v]
+
+    def test_crash_faults_are_recorded(self):
+        g = _graph()
+        net = _net(g, crash_nodes=(2, 5), crash_round=0)
+        run_message_passing(g, _Collector, faults=net)
+        crash_records = [f for f in net.faults if f.layer == "crash"]
+        assert sorted(f.node for f in crash_records) == [2, 5]

@@ -1,0 +1,88 @@
+"""FaultPlan validation and classification."""
+
+import pytest
+
+from repro.faults import FaultPlan
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field",
+        ["advice_flips", "advice_erasures", "advice_truncations", "advice_swaps"],
+    )
+    def test_negative_counts_rejected(self, field):
+        with pytest.raises(ValueError):
+            FaultPlan(**{field: -1})
+
+    @pytest.mark.parametrize(
+        "field",
+        ["message_drop_rate", "message_duplicate_rate", "message_delay_rate"],
+    )
+    def test_rates_outside_unit_interval_rejected(self, field):
+        with pytest.raises(ValueError):
+            FaultPlan(**{field: 1.5})
+        with pytest.raises(ValueError):
+            FaultPlan(**{field: -0.1})
+
+    def test_rates_summing_past_one_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(
+                message_drop_rate=0.5,
+                message_duplicate_rate=0.4,
+                message_delay_rate=0.2,
+            )
+
+    def test_crash_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            FaultPlan(crash_fraction=1.1)
+
+    def test_max_delay_at_least_one(self):
+        with pytest.raises(ValueError):
+            FaultPlan(max_delay=0)
+
+    def test_crash_round_nonnegative(self):
+        with pytest.raises(ValueError):
+            FaultPlan(crash_round=-1)
+
+
+class TestClassification:
+    def test_default_plan_is_noop(self):
+        plan = FaultPlan(seed=7)
+        assert plan.is_noop
+        assert not plan.wants_advice_faults
+        assert not plan.wants_message_faults
+        assert not plan.wants_crashes
+
+    def test_advice_faults_counted(self):
+        plan = FaultPlan(advice_flips=2, advice_swaps=1)
+        assert plan.advice_faults == 3
+        assert plan.wants_advice_faults
+        assert not plan.is_noop
+
+    def test_message_and_crash_flags(self):
+        assert FaultPlan(message_delay_rate=0.1).wants_message_faults
+        assert FaultPlan(crash_nodes=(3,)).wants_crashes
+        assert FaultPlan(crash_fraction=0.2).wants_crashes
+
+    def test_with_seed_replaces_only_the_seed(self):
+        plan = FaultPlan(seed=1, advice_flips=2)
+        reseeded = plan.with_seed(9)
+        assert reseeded.seed == 9
+        assert reseeded.advice_flips == 2
+        assert plan.seed == 1  # frozen original untouched
+
+    def test_describe_round_trips_every_knob(self):
+        plan = FaultPlan(
+            seed=5,
+            advice_erasures=1,
+            message_drop_rate=0.25,
+            crash_nodes=(0, 4),
+            crash_round=2,
+        )
+        desc = plan.describe()
+        assert desc["seed"] == 5
+        assert desc["advice_erasures"] == 1
+        assert desc["message_drop_rate"] == 0.25
+        assert desc["crash_nodes"] == ["0", "4"]
+        assert desc["crash_round"] == 2
+        assert desc == plan.describe()  # deterministic

@@ -1,0 +1,140 @@
+"""RobustRunner: detection, local repair, escalation, and reporting."""
+
+import pytest
+
+from repro.core.api import default_instance, make_schema, solve_with_advice
+from repro.faults import FaultPlan, RobustRunner
+from repro.obs import MetricsRegistry
+from repro.obs.robustness import GLOBAL_RESOLVE, LOCAL_KINDS
+
+
+def _setup(name="2-coloring", n=32, seed=0):
+    graph, kwargs = default_instance(name, n, seed)
+    return graph, make_schema(name, **kwargs)
+
+
+class TestCleanRuns:
+    def test_no_plan_is_a_clean_run(self):
+        graph, schema = _setup()
+        run = RobustRunner(schema).run(graph)
+        report = run.robustness
+        assert run.valid
+        assert report.injected == []
+        assert not report.detected
+        assert not report.escalated
+        assert report.final_valid
+        assert report.actions == []
+
+    def test_noop_plan_injects_nothing(self):
+        graph, schema = _setup()
+        run = RobustRunner(schema).run(graph, plan=FaultPlan(seed=5))
+        assert run.robustness.injected == []
+        assert run.valid
+
+    def test_robustness_lands_in_telemetry(self):
+        graph, schema = _setup()
+        run = RobustRunner(schema).run(graph)
+        assert run.telemetry["robustness"] == {
+            "injected": 0,
+            "detected": False,
+            "locally_repaired": 0,
+            "escalated": False,
+        }
+
+
+class TestRepair:
+    def test_flip_detected_and_repaired_locally(self):
+        # Seed 0 is known-harmful for 2-coloring (not masked by symmetry).
+        graph, schema = _setup()
+        plan = FaultPlan(seed=0, advice_flips=2)
+        run = RobustRunner(schema).run(graph, plan=plan)
+        report = run.robustness
+        assert run.valid
+        assert len(report.injected) == 2
+        assert report.detected
+        assert report.repaired_locally
+        assert not report.escalated
+        assert all(a.kind in LOCAL_KINDS for a in report.actions)
+        assert any(a.success for a in report.actions)
+
+    def test_truncation_surfaces_as_decode_error_then_heals(self):
+        graph, schema = _setup("balanced-orientation")
+        plan = FaultPlan(seed=1, advice_truncations=2)
+        run = RobustRunner(schema).run(graph, plan=plan)
+        report = run.robustness
+        assert run.valid
+        assert report.detected
+        assert report.decode_errors >= 1
+        assert report.final_valid
+        assert not report.escalated
+
+    def test_report_is_reproducible_bit_for_bit(self):
+        graph, schema = _setup()
+        plan = FaultPlan(seed=0, advice_flips=2)
+        a = RobustRunner(schema).run(graph, plan=plan).robustness
+        b = RobustRunner(schema).run(graph, plan=plan).robustness
+        assert a.as_dict() == b.as_dict()
+
+    def test_metrics_registry_sees_the_repair(self):
+        graph, schema = _setup()
+        registry = MetricsRegistry()
+        runner = RobustRunner(schema, registry=registry)
+        runner.run(graph, plan=FaultPlan(seed=0, advice_flips=2))
+        snap = registry.snapshot()
+        assert snap["faults_injected_total"] == 2
+        assert snap["faults_detected_total"] == 1
+        assert snap["repairs_local_total"] >= 1
+
+    def test_masked_faults_do_not_trip_detection(self):
+        # Seed 2 flips bits whose damage the decoder masks entirely.
+        graph, schema = _setup()
+        run = RobustRunner(schema).run(graph, plan=FaultPlan(seed=2, advice_flips=2))
+        report = run.robustness
+        assert run.valid
+        assert report.injected
+        assert not report.detected
+        assert report.actions == []
+
+
+class TestEscalation:
+    def test_crippled_runner_escalates_but_still_ends_valid(self):
+        graph, schema = _setup()
+        crippled = RobustRunner(
+            schema,
+            patch_radii=(),
+            refetch_radii=(),
+            max_solver_steps=1,
+            max_ball_radius=0,
+        )
+        run = crippled.run(graph, plan=FaultPlan(seed=2, advice_flips=3))
+        report = run.robustness
+        assert report.detected
+        assert report.escalated
+        assert report.final_valid
+        assert any(a.kind == GLOBAL_RESOLVE for a in report.actions)
+        assert not report.repaired_locally
+
+
+class TestApiIntegration:
+    def test_solve_with_advice_robust_path(self):
+        graph, _ = _setup()
+        plan = FaultPlan(seed=0, advice_flips=2)
+        run = solve_with_advice("2-coloring", graph, robust=True, fault_plan=plan)
+        assert run.valid
+        assert run.robustness.detected
+        assert run.robustness.repaired_locally
+
+    def test_fault_plan_alone_implies_robust(self):
+        graph, _ = _setup()
+        run = solve_with_advice(
+            "2-coloring", graph, fault_plan=FaultPlan(seed=0, advice_flips=1)
+        )
+        assert hasattr(run, "robustness")
+        assert run.valid
+
+    def test_robust_options_require_robust_path(self):
+        graph, _ = _setup()
+        with pytest.raises(TypeError):
+            solve_with_advice(
+                "2-coloring", graph, robust_options={"max_ball_radius": 4}
+            )
