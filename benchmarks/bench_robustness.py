@@ -121,6 +121,8 @@ def main(argv: Optional[List[str]] = None) -> Dict[str, object]:
     )
     args = parser.parse_args(argv)
 
+    from common import stamp_provenance
+
     cases = campaign_cases(args.runs, args.seed, args.n, args.max_faults)
     overhead = overhead_cases(args.n, args.seed, args.repeats)
     report = {
@@ -134,6 +136,7 @@ def main(argv: Optional[List[str]] = None) -> Dict[str, object]:
         "cases": cases,
         "overhead_cases": overhead,
     }
+    stamp_provenance(report, seed=args.seed, schemas=available_schemas())
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")

@@ -176,12 +176,15 @@ def main(argv: Optional[List[str]] = None) -> Dict[str, object]:
     )
     args = parser.parse_args(argv)
 
+    from common import stamp_provenance
+
     cases = run_suite(args.rows, args.cols, args.radius)
     report = {
         "benchmark": "simulation_core",
         "params": {"rows": args.rows, "cols": args.cols, "radius": args.radius},
         "cases": cases,
     }
+    stamp_provenance(report, seed=1, extra_seeds=[2, 3])
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2)
     for case in cases:

@@ -18,6 +18,13 @@ deliberately not part of any baseline.  A metric drifting outside its
 tolerance exits nonzero, which is what the ``bench-regression`` CI job
 keys on.  ``--write-baseline`` regenerates the baseline from a report
 after an intentional engine change.
+
+The tolerance rule (relative slack with an absolute floor of one unit) is
+shared with the run-diffing layer — :func:`repro.obs.diff.allowed_drift` —
+so a bench baseline, a telemetry diff, and a ``BENCH_history.json`` drift
+check all mean the same thing by "within tolerance".  Every report written
+through :func:`stamp_provenance` carries commit hash, seed, python
+version, and schema list, making bench JSONs attributable PR-over-PR.
 """
 
 from __future__ import annotations
@@ -26,6 +33,9 @@ import argparse
 import json
 import sys
 from typing import Dict, List, Optional, Sequence
+
+from repro.obs.diff import allowed_drift
+from repro.obs.report import build_provenance
 
 
 def print_table(title: str, rows: Sequence[Dict[str, object]]) -> None:
@@ -60,6 +70,29 @@ def run_once(benchmark, fn):
     information.
     """
     return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+# ---------------------------------------------------------------------------
+# Provenance
+# ---------------------------------------------------------------------------
+
+
+def stamp_provenance(
+    report: Dict[str, object],
+    seed: Optional[int] = None,
+    schemas: Optional[Sequence[str]] = None,
+    **extra: object,
+) -> Dict[str, object]:
+    """Attach a provenance stamp to a bench report (returns the report).
+
+    Commit hash, python version, and platform come from
+    :func:`repro.obs.report.build_provenance`; pass the bench's ``seed``
+    and the schema list it exercised so every ``BENCH_*.json`` (and every
+    ``BENCH_history.json`` entry derived from one) is attributable to the
+    exact tree and instance that produced it.
+    """
+    report["provenance"] = build_provenance(seed=seed, schemas=schemas, **extra)
+    return report
 
 
 # ---------------------------------------------------------------------------
@@ -149,8 +182,7 @@ def diff_against_baseline(
             if actual is None:
                 problems.append(f"case {name!r}: metric {metric!r} missing")
                 continue
-            tolerance = float(tolerances.get(metric, 0.0))
-            allowed = tolerance * max(abs(expected), 1.0)
+            allowed = allowed_drift(expected, float(tolerances.get(metric, 0.0)))
             if abs(actual - expected) > allowed:
                 problems.append(
                     f"case {name!r}: {metric} = {actual:g}, baseline "

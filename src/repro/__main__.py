@@ -19,6 +19,18 @@ runs the seeded corruption campaign (:mod:`repro.faults`): every schema
 gets flipped/erased/truncated advice bits and must either self-heal
 locally or escalate visibly; exits non-zero unless detection is 100% and
 every run ends valid.
+
+``python -m repro profile <schema> [--metric M] [--collapsed FILE]``
+runs one schema with a tracer attached and prints the per-span work
+profile (:mod:`repro.obs.profile`) — self/cumulative wall time, engine
+work counters, and the critical path; ``--collapsed`` writes
+flamegraph-ready collapsed-stack lines.
+
+``python -m repro report [--json] [--out FILE] [--html FILE]
+[--history BENCH_history.json]`` builds the unified observability
+dashboard across all schemas (telemetry + work profiles + optional chaos
+and lint summaries, stamped with provenance) and maintains the cross-PR
+deterministic-metric history (:mod:`repro.obs.report`).
 """
 
 from __future__ import annotations
@@ -166,6 +178,66 @@ def chaos_main(argv: list) -> int:
     return 0 if result.ok else 1
 
 
+def profile_main(argv: list) -> int:
+    """``python -m repro profile <schema>``: one traced, attributed run."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro profile",
+        description="Run one schema with tracing and print the per-span "
+        "work profile (self/cumulative wall time, engine work counters, "
+        "critical path).",
+    )
+    parser.add_argument("schema", choices=available_schemas())
+    parser.add_argument("--n", type=int, default=120, help="instance size hint")
+    parser.add_argument("--seed", type=int, default=0, help="identifier seed")
+    parser.add_argument(
+        "--metric",
+        default="wall",
+        help="metric for the collapsed stacks and critical path "
+        "(wall or an engine counter; default: wall)",
+    )
+    parser.add_argument(
+        "--collapsed",
+        metavar="FILE",
+        help="write flamegraph-ready collapsed-stack lines to FILE",
+    )
+    parser.add_argument(
+        "--logical-clock",
+        action="store_true",
+        help="use the deterministic logical clock (trace work, not seconds)",
+    )
+    args = parser.parse_args(argv)
+
+    from .core.api import default_instance, make_schema
+    from .obs import LogicalClock, profile_run
+
+    graph, kwargs = default_instance(args.schema, args.n, args.seed)
+    schema = make_schema(args.schema, **kwargs)
+    clock = LogicalClock() if args.logical_clock else None
+    run, profile = profile_run(schema, graph, clock=clock)
+
+    print(f"== profile: {args.schema} (n={run.n}, seed={args.seed})")
+    print(profile.table())
+    print("\n== critical path")
+    for span in profile.critical_path(args.metric):
+        print(
+            f"  {span.name:<28s} cum {span.wall * 1000:9.2f} ms   "
+            f"self {span.wall_self * 1000:9.2f} ms"
+        )
+    mismatches = profile.reconcile(run.telemetry)
+    print("\n== reconciliation vs telemetry")
+    if mismatches:
+        for problem in mismatches:
+            print(f"  MISMATCH {problem}")
+    else:
+        print("  OK: per-span work sums exactly to the run's telemetry")
+    if args.collapsed:
+        with open(args.collapsed, "w") as fh:
+            fh.write(profile.collapsed(args.metric))
+            fh.write("\n")
+        print(f"\nwrote collapsed stacks ({args.metric}) -> {args.collapsed}")
+    return 0 if run.valid and not mismatches else 1
+
+
 def _json_record(name: str, run: SchemaRun) -> Dict[str, object]:
     return {
         "schema": name,
@@ -191,6 +263,12 @@ def main(argv: Optional[list] = None) -> int:
         return lint_main(argv[1:])
     if argv and argv[0] == "chaos":
         return chaos_main(argv[1:])
+    if argv and argv[0] == "profile":
+        return profile_main(argv[1:])
+    if argv and argv[0] == "report":
+        from .obs.report import report_main
+
+        return report_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",

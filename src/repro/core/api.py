@@ -16,7 +16,10 @@ Typical usage::
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.profile import WorkProfile
 
 from ..advice.schema import AdviceSchema, SchemaRun
 from ..local.graph import LocalGraph, Node
@@ -156,6 +159,31 @@ def solve_with_advice(
     if robust_options:
         raise TypeError("robust_options require robust=True or a fault_plan")
     return schema.run(graph, check=check, tracer=tracer, registry=registry)
+
+
+def solve_profiled(
+    schema: "str | AdviceSchema",
+    graph: LocalGraph,
+    check: bool = True,
+    clock: Optional[Callable[[], float]] = None,
+    **kwargs: object,
+) -> "Tuple[SchemaRun, WorkProfile]":
+    """Like :func:`solve_with_advice`, but also return a work profile.
+
+    A tracer with an in-memory ring is attached for the duration of the
+    run and its span tree is folded into a
+    :class:`repro.obs.profile.WorkProfile` — per-span self/cumulative wall
+    time and engine work counters, collapsed-stack export, critical path.
+    Pass ``clock=LogicalClock()`` (:mod:`repro.obs`) for deterministic,
+    machine-independent span timestamps (trace *work*, not seconds).
+    """
+    from ..obs.profile import WorkProfile
+    from ..obs.trace import RingSink
+
+    ring = RingSink(capacity=1 << 20)
+    tracer = Tracer(ring, clock=clock)
+    run = solve_with_advice(schema, graph, check=check, tracer=tracer, **kwargs)
+    return run, WorkProfile.from_records(ring.records)
 
 
 def compress_edges(

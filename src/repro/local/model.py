@@ -118,7 +118,9 @@ def run_view_algorithm(
                 graph, radius, advice=advice, stats=stats, tracer=tracer
             )
         outputs: Dict[Node, object] = {}
-        with tracer.span("decide", n=len(views)), stats.phase("decide"):
+        with tracer.span("decide", n=len(views)) as decide_span, stats.phase(
+            "decide"
+        ):
             if memoize:
                 cache: Dict[object, object] = {}
                 for v, view in views.items():
@@ -142,6 +144,15 @@ def run_view_algorithm(
                     outputs[v] = decide(view)
                     if tracing:
                         tracer.event("decide", node=v, cached=False)
+            if tracing:
+                # Declare this span's share of the work counters so the
+                # profiler (repro.obs.profile) can attribute self-vs-
+                # cumulative work; the enclosing span carries the totals.
+                decide_span.set(
+                    decide_calls=stats.decide_calls,
+                    view_cache_hits=stats.view_cache_hits,
+                    view_cache_misses=stats.view_cache_misses,
+                )
         if tracing:
             run_span.set(**stats.as_dict())
     return RunResult(outputs=outputs, rounds=radius, stats=stats)

@@ -12,8 +12,22 @@ Three pieces, designed to stay out of the hot path until asked for:
   labelings and decoder errors.
 * :mod:`repro.obs.robustness` — ``RobustnessReport``/``RepairAction``
   records emitted by the self-healing runner (:mod:`repro.faults`).
+* :mod:`repro.obs.profile` — ``WorkProfile`` span-tree work attribution
+  (collapsed stacks, critical path, telemetry reconciliation).
+* :mod:`repro.obs.diff` — run-over-run telemetry/profile diffing under
+  the shared deterministic-metric tolerance semantics.
+* :mod:`repro.obs.report` — the unified dashboard
+  (``python -m repro report``) and the cross-PR perf history.
 """
 
+from .diff import (
+    DETERMINISTIC_TOLERANCES,
+    MetricDelta,
+    allowed_drift,
+    diff_profiles,
+    diff_telemetry,
+    format_deltas,
+)
 from .failure import (
     FailureReport,
     build_error_report,
@@ -22,10 +36,13 @@ from .failure import (
     view_fingerprint,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profile import WorkProfile, parse_collapsed, profile_run
+from .report import build_provenance, collect_report, render_markdown
 from .robustness import RepairAction, RobustnessReport
 from .trace import (
     NULL_TRACER,
     JsonlSink,
+    LogicalClock,
     NullTracer,
     RingSink,
     Span,
@@ -38,10 +55,13 @@ from .trace import (
 
 __all__ = [
     "Counter",
+    "DETERMINISTIC_TOLERANCES",
     "FailureReport",
     "Gauge",
     "Histogram",
     "JsonlSink",
+    "LogicalClock",
+    "MetricDelta",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
@@ -50,12 +70,22 @@ __all__ = [
     "RobustnessReport",
     "Span",
     "Tracer",
+    "WorkProfile",
+    "allowed_drift",
     "as_tracer",
     "build_error_report",
     "build_order_violation_report",
+    "build_provenance",
     "build_violation_reports",
+    "collect_report",
+    "diff_profiles",
+    "diff_telemetry",
+    "format_deltas",
     "format_span_tree",
     "load_jsonl",
+    "parse_collapsed",
+    "profile_run",
+    "render_markdown",
     "span_tree",
     "view_fingerprint",
 ]

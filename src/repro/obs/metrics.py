@@ -32,6 +32,7 @@ name                              type        meaning (paper quantity)
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Iterable, List, Optional, Tuple
 
 LabelSet = Tuple[Tuple[str, str], ...]
@@ -121,6 +122,31 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Bucket-resolution quantile estimate, clamped to observed min/max.
+
+        Returns the upper bound of the first bucket whose cumulative count
+        reaches rank ``ceil(q * count)``, clamped into ``[min, max]`` — for
+        the small-integer quantities the schemas record (advice lengths,
+        repair radii) the bucket bounds 0/1/2/4/... make this exact
+        whenever the answer lands on a bucket boundary.  ``None`` on an
+        empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if self.count == 0:
+            return None
+        target = max(1, math.ceil(q * self.count))
+        cumulative = 0
+        estimate = self.max
+        for bound, count in zip(self.buckets, self.bucket_counts):
+            cumulative += count
+            if cumulative >= target:
+                estimate = bound
+                break
+        # min/max are tracked exactly; never report outside what was seen.
+        return min(max(estimate, self.min), self.max)
+
     def snapshot_value(self) -> Dict[str, object]:
         buckets = {}
         cumulative = 0
@@ -134,6 +160,8 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "mean": round(self.mean, 9),
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
             "buckets": buckets,
         }
 

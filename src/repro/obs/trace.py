@@ -115,6 +115,27 @@ class JsonlSink(Sink):
         self.close()
 
 
+class LogicalClock:
+    """A deterministic monotone clock: every read ticks the counter by one.
+
+    Substituting it for the wall clock (``Tracer(..., clock=LogicalClock())``)
+    makes span ``start``/``end`` stamps pure functions of the *sequence* of
+    trace operations, so two runs of the same algorithm produce identical
+    traces and :class:`repro.obs.profile.WorkProfile` durations measure
+    *work* (trace operations elapsed) rather than machine timing.  The
+    profile/diff test suites compare runs through exactly this clock.
+    """
+
+    __slots__ = ("ticks",)
+
+    def __init__(self) -> None:
+        self.ticks = 0
+
+    def __call__(self) -> float:
+        self.ticks += 1
+        return float(self.ticks)
+
+
 class Span:
     """A live span handle; ``set(...)`` attaches attributes before close."""
 
@@ -160,9 +181,11 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self, *sinks: Sink) -> None:
+    def __init__(
+        self, *sinks: Sink, clock: Optional[Callable[[], float]] = None
+    ) -> None:
         self.sinks: List[Sink] = list(sinks) or [RingSink()]
-        self._clock = time.perf_counter
+        self._clock = clock if clock is not None else time.perf_counter
         self._epoch = self._clock()
         self._next_id = 0
         self._stack: List[Span] = []

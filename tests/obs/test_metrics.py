@@ -48,6 +48,36 @@ class TestHistogram:
         assert snap["count"] == 0
         assert snap["mean"] == 0.0
         assert snap["min"] is None
+        assert snap["p50"] is None and snap["p95"] is None
+
+    def test_quantile_small_integers(self):
+        h = Histogram(buckets=(1, 2, 4, 8))
+        for v in (1, 1, 2, 2, 2, 4, 4, 8, 8, 8):
+            h.observe(v)
+        assert h.quantile(0.50) == 2
+        assert h.quantile(0.95) == 8
+        assert h.quantile(0.0) == 1  # clamped to the observed minimum
+        assert h.quantile(1.0) == 8
+
+    def test_quantile_clamps_to_observed_range(self):
+        # All observations land in one bucket whose upper bound is far
+        # above the data: the estimate must not exceed the observed max.
+        h = Histogram(buckets=(100,))
+        for v in (3, 5, 7):
+            h.observe(v)
+        assert h.quantile(0.5) <= h.max
+        assert h.quantile(0.5) >= h.min
+
+    def test_quantile_empty_is_none(self):
+        assert Histogram().quantile(0.5) is None
+
+    def test_snapshot_includes_quantiles(self):
+        h = Histogram()
+        for v in range(1, 11):
+            h.observe(v)
+        snap = h.snapshot_value()
+        assert snap["p50"] is not None and snap["p95"] is not None
+        assert snap["p50"] <= snap["p95"] <= snap["max"]
 
 
 class TestRegistry:
