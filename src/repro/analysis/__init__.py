@@ -30,6 +30,7 @@ from .engine import (
     run_lint,
     scan_module,
 )
+from .purity import PurityCertificate, certify_pure_decider
 from .rules import RULES, Rule, Violation
 from .waivers import lint_waiver, uses_global_knowledge, waivers_of
 
@@ -57,10 +58,12 @@ __all__ = [
     "FuzzResult",
     "LintReport",
     "ORDER_INVARIANCE_CHECKED",
+    "PurityCertificate",
     "RULES",
     "Rule",
     "Violation",
     "apply_waiver_fixes",
+    "certify_pure_decider",
     "fuzz_all",
     "fuzz_schema",
     "inspect_callable",

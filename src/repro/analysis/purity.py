@@ -1,0 +1,204 @@
+"""Machine-readable purity certification for decision functions.
+
+The parallel decode pool (:mod:`repro.local.parallel`) ships the user's
+decision function to worker processes and merges their outputs as if one
+serial loop had produced them.  That is only sound when the decider is a
+*pure function of its view* — exactly the contract the static linter
+(rules LOC001–LOC003) already checks over the schema packages.  This
+module exposes that verdict as an API over a single live callable, so the
+pool can gate itself mechanically instead of requiring a full
+``python -m repro lint`` run:
+
+>>> cert = certify_pure_decider(my_decider)
+>>> cert.pure
+True
+
+Certification is *conservative*: a function whose source cannot be
+located (builtins, C extensions, ``exec``-generated code, interactive
+definitions) is not certified, and any unwaived LOC001/LOC002/LOC003
+finding — from the static scan of its defining module **or** from runtime
+closure/global inspection — blocks the certificate.  Waived findings are
+reported on the certificate but do not block it: a waiver is a human
+assertion that the impurity is benign (e.g. a logging side effect), which
+is precisely the judgment the mechanical gate defers to.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Tuple
+
+from .engine import _propagate_contexts, inspect_callable, scan_module
+from .rules import Violation, check_function
+
+__all__ = ["PurityCertificate", "certify_pure_decider"]
+
+#: the rules whose unwaived findings make a decider unsafe to parallelize:
+#: LOC001 (global knowledge), LOC002 (nondeterminism), LOC003 (mutation of
+#: state that outlives the call).
+_PURITY_RULES = frozenset({"LOC001", "LOC002", "LOC003"})
+
+
+@dataclass(frozen=True)
+class PurityCertificate:
+    """The linter's verdict on one decision function.
+
+    Attributes
+    ----------
+    pure:
+        ``True`` when the decider carries no unwaived purity finding and
+        its source could be analyzed.  This is the pool gate.
+    function:
+        ``module:qualname`` label of the certified function.
+    reason:
+        Human-readable justification of the verdict — the blocking
+        finding(s) when impure, or why certification was impossible.
+    findings:
+        Unwaived LOC001/LOC002/LOC003 violations (empty when pure).
+    waived:
+        Purity findings carrying a justified waiver; reported for
+        transparency, not blocking.
+    """
+
+    pure: bool
+    function: str
+    reason: str = ""
+    findings: Tuple[Violation, ...] = field(default_factory=tuple)
+    waived: Tuple[Violation, ...] = field(default_factory=tuple)
+
+    def __bool__(self) -> bool:
+        return self.pure
+
+
+def _reachable_qualnames(scan, root) -> set:
+    """Qualnames reachable from ``root`` via the same-module call graph."""
+    seen = {root.qualname}
+    stack = [root]
+    while stack:
+        fn = stack.pop()
+        parts = fn.qualname.split(".<locals>.")
+        scope = tuple(
+            ".<locals>.".join(parts[: i + 1]) for i in range(len(parts))
+        )
+        for callee_name in fn.calls:
+            callee = scan.resolve(callee_name, scope)
+            if callee is None and "." in parts[0]:
+                # self.method() from a method: resolve within the class
+                class_prefix = parts[0].rsplit(".", 1)[0]
+                callee = scan.function(class_prefix + "." + callee_name)
+            if callee is not None and callee.qualname not in seen:
+                seen.add(callee.qualname)
+                stack.append(callee)
+    return seen
+
+
+def _label(fn: Callable) -> str:
+    module = getattr(fn, "__module__", "") or "<unknown>"
+    qualname = getattr(fn, "__qualname__", getattr(fn, "__name__", "<fn>"))
+    return f"{module}:{qualname}"
+
+
+def certify_pure_decider(fn: Callable) -> PurityCertificate:
+    """Certify that ``fn`` is a pure function of its view argument.
+
+    Runs the static LOC rule pass over ``fn``'s defining module (forcing
+    the ``view`` context onto ``fn`` itself, so the full view contract
+    applies even when the parameter is not named/annotated ``view``) plus
+    the runtime closure/global inspection of
+    :func:`repro.analysis.inspect_callable`.  Decorated functions are
+    unwrapped through ``__wrapped__`` (so ``mark_order_invariant`` and
+    ``functools.wraps`` chains certify their targets).
+    """
+    label = _label(fn)
+    inner = fn
+    while hasattr(inner, "__wrapped__"):
+        inner = inner.__wrapped__
+    code = getattr(inner, "__code__", None)
+    if code is None:
+        return PurityCertificate(
+            pure=False,
+            function=label,
+            reason="not a Python function — no source to certify",
+        )
+
+    try:
+        path = inspect.getsourcefile(inner)
+    except TypeError:
+        path = None
+    if path is None or not Path(path).is_file():
+        return PurityCertificate(
+            pure=False,
+            function=label,
+            reason="source file unavailable — cannot run the static pass",
+        )
+
+    try:
+        scan = scan_module(Path(path), getattr(inner, "__module__", "") or "")
+    except SyntaxError as exc:  # pragma: no cover - source already imported
+        return PurityCertificate(
+            pure=False, function=label, reason=f"source unparsable: {exc}"
+        )
+    qualname = getattr(inner, "__qualname__", inner.__name__)
+    info = scan.function(qualname)
+    if info is None:
+        return PurityCertificate(
+            pure=False,
+            function=label,
+            reason=(
+                f"definition {qualname!r} not found in the static scan of "
+                f"{path} (lambda or generated code?)"
+            ),
+        )
+
+    # The decider runs per node on a radius-T ball: hold it to the full
+    # view contract regardless of how its parameter is spelled, and push
+    # the obligation onto same-module helpers it calls.  Only functions
+    # actually reachable from the decider through the same-module call
+    # graph (plus its lexically nested defs) are checked — an impure
+    # sibling elsewhere in the module must not block this certificate.
+    info.contexts.add("view")
+    _propagate_contexts(scan)
+    reachable = _reachable_qualnames(scan, info)
+
+    violations = []
+    for candidate in scan.functions:
+        if (
+            candidate.qualname in reachable
+            or candidate.qualname.startswith(qualname + ".<locals>.")
+        ):
+            candidate.contexts.add("view" if candidate is info else "view-helper")
+            violations.extend(
+                check_function(
+                    candidate,
+                    scan.parent_of,
+                    scan.random_aliases,
+                    scan.time_aliases,
+                )
+            )
+    violations.extend(inspect_callable(fn, name=qualname))
+
+    relevant = [v for v in violations if v.rule in _PURITY_RULES]
+    blocking = tuple(v for v in relevant if not v.waived)
+    waived = tuple(v for v in relevant if v.waived)
+    if blocking:
+        reason = "; ".join(
+            f"{v.rule} in {v.function} (line {v.line}): {v.message}"
+            for v in blocking[:3]
+        )
+        if len(blocking) > 3:
+            reason += f"; ... {len(blocking) - 3} more"
+        return PurityCertificate(
+            pure=False,
+            function=label,
+            reason=reason,
+            findings=blocking,
+            waived=waived,
+        )
+    return PurityCertificate(
+        pure=True,
+        function=label,
+        reason="no unwaived LOC001/LOC002/LOC003 findings",
+        waived=waived,
+    )

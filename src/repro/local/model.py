@@ -19,8 +19,11 @@ suite cross-checks the two engines against each other.
 
 from __future__ import annotations
 
+import warnings
+from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, List, Mapping, Optional
+from typing import Callable, Dict, Hashable, Iterator, List, Mapping, Optional
 
 from ..obs.trace import NULL_TRACER
 from ..perf import SimStats
@@ -30,6 +33,86 @@ from .views import View, gather_all_views, is_marked_order_invariant
 
 class SimulationError(RuntimeError):
     """Raised when a simulated algorithm violates the model's contract."""
+
+
+# ---------------------------------------------------------------------------
+# Engine selection
+# ---------------------------------------------------------------------------
+
+#: the engines run_view_algorithm dispatches between (see docs/performance.md)
+ENGINES = ("auto", "scalar", "vectorized", "parallel")
+
+#: below this node count ``auto`` stays scalar: the numpy sweep's fixed
+#: per-call overhead (array setup, mask allocation) beats the win on tiny
+#: graphs, and tiny graphs dominate the unit-test and repair workloads.
+AUTO_VECTORIZE_MIN_NODES = 64
+
+#: ambient engine for runs that don't pass ``engine=`` explicitly; set
+#: via :func:`use_engine` (e.g. by ``solve_with_advice``) so schemas whose
+#: ``decode`` predates the dispatch still inherit the selection.
+_ENGINE_VAR: ContextVar[str] = ContextVar("repro_engine", default="auto")
+
+
+@contextmanager
+def use_engine(engine: str) -> Iterator[None]:
+    """Set the ambient engine for :func:`run_view_algorithm` calls within.
+
+    Engine selection flows *around* schema code: ``solve_with_advice``
+    wraps ``schema.run`` in this context manager, so every decoder that
+    calls ``run_view_algorithm`` without an explicit ``engine=`` — i.e.
+    all ten registered schemas — inherits the caller's choice without any
+    signature change.  An explicit ``engine=`` argument always wins.
+    """
+    if engine not in ENGINES:
+        raise SimulationError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}"
+        )
+    token = _ENGINE_VAR.set(engine)
+    try:
+        yield
+    finally:
+        _ENGINE_VAR.reset(token)
+
+
+def current_engine() -> str:
+    """The ambient engine name (``"auto"`` unless :func:`use_engine` set it)."""
+    return _ENGINE_VAR.get()
+
+
+def _resolve_engine(engine: Optional[str], graph: LocalGraph) -> str:
+    """Resolve ``engine`` (or the ambient default) to a concrete engine.
+
+    ``auto`` picks ``vectorized`` when numpy is importable and the graph
+    has at least :data:`AUTO_VECTORIZE_MIN_NODES` nodes, else ``scalar``;
+    it never picks ``parallel`` (process pools only pay off on multi-core
+    hosts with big graphs — an explicit opt-in).  A ``vectorized`` request
+    without numpy degrades to ``scalar`` with a warning rather than
+    failing: engine choice must never change whether a run succeeds.
+    """
+    if engine is None:
+        engine = _ENGINE_VAR.get()
+    if engine not in ENGINES:
+        raise SimulationError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}"
+        )
+    if engine == "auto":
+        from .vectorized import numpy_available
+
+        if numpy_available() and graph.n >= AUTO_VECTORIZE_MIN_NODES:
+            return "vectorized"
+        return "scalar"
+    if engine == "vectorized":
+        from .vectorized import numpy_available
+
+        if not numpy_available():  # pragma: no cover - numpy present in CI
+            warnings.warn(
+                "vectorized engine requested but numpy is unavailable; "
+                "falling back to the scalar engine",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return "scalar"
+    return engine
 
 
 @dataclass
@@ -88,19 +171,35 @@ def run_view_algorithm(
     advice: Optional[Mapping[Node, str]] = None,
     memoize: Optional[bool] = None,
     tracer=None,
+    engine: Optional[str] = None,
+    pool_size: Optional[int] = None,
 ) -> RunResult:
     """Run the ``radius``-round view algorithm ``decide`` on every node.
 
-    Views are gathered for all nodes in one batched CSR sweep
-    (:func:`repro.local.views.gather_all_views`).  When ``memoize`` is true
-    — or ``decide`` was declared order-invariant via
-    :func:`repro.local.views.mark_order_invariant` — order-isomorphic views
-    are decided once and answered from a cache keyed on
+    ``engine`` picks how the per-node work executes — the *outputs are
+    engine-independent* (the test suite pins bit-identical labelings):
+
+    * ``"scalar"`` — one Python BFS per root, eager :class:`View` dicts;
+    * ``"vectorized"`` — one masked multi-source numpy sweep over the
+      compiled CSR for all roots (:mod:`repro.local.vectorized`), with
+      lazy views;
+    * ``"parallel"`` — a shared-nothing process pool over contiguous root
+      chunks (:mod:`repro.local.parallel`), gated on the static linter
+      certifying ``decide`` pure; falls back to a serial engine (with a
+      warning) when the gate refuses.  ``pool_size`` caps its workers.
+    * ``"auto"`` (default) — ``vectorized`` when numpy is available and
+      the graph is non-trivial, else ``scalar``; never ``parallel``.
+    * ``None`` — the ambient engine from :func:`use_engine` (``"auto"``
+      unless a caller such as ``solve_with_advice`` chose otherwise).
+
+    When ``memoize`` is true — or ``decide`` was declared order-invariant
+    via :func:`repro.local.views.mark_order_invariant` — order-isomorphic
+    views are decided once and answered from a cache keyed on
     :meth:`View.order_signature`, which is sound exactly for
     order-invariant algorithms (Section 8: their output may depend only on
     the relative identifier order in the view).  ``RunResult.stats``
-    reports views gathered, cache hits/misses, BFS node-visits, and
-    per-phase wall time.
+    reports views gathered, cache hits/misses, BFS node-visits, per-phase
+    wall time, and which engine ran.
     """
     if radius < 0:
         raise SimulationError("radius must be non-negative")
@@ -108,15 +207,45 @@ def run_view_algorithm(
         memoize = is_marked_order_invariant(decide)
     if tracer is None:
         tracer = NULL_TRACER
+    resolved = _resolve_engine(engine, graph)
+    if resolved == "parallel":
+        from .parallel import run_view_algorithm_parallel
+
+        result = run_view_algorithm_parallel(
+            graph,
+            radius,
+            decide,
+            advice=advice,
+            memoize=bool(memoize),
+            tracer=tracer,
+            pool_size=pool_size,
+        )
+        if result is not None:
+            return result
+        # Gate refused (impure or unpicklable decider): the warning has
+        # fired; decode serially with the best remaining engine.
+        resolved = _resolve_engine("auto", graph)
     tracing = tracer.enabled
     stats = SimStats()
+    stats.engine = resolved
     with tracer.span(
-        "run_view_algorithm", radius=radius, n=graph.n, memoize=bool(memoize)
+        "run_view_algorithm",
+        radius=radius,
+        n=graph.n,
+        memoize=bool(memoize),
+        engine=resolved,
     ) as run_span:
         with stats.phase("gather"):
-            views = gather_all_views(
-                graph, radius, advice=advice, stats=stats, tracer=tracer
-            )
+            if resolved == "vectorized":
+                from .vectorized import gather_views_batched
+
+                views = gather_views_batched(
+                    graph, radius, advice=advice, stats=stats, tracer=tracer
+                )
+            else:
+                views = gather_all_views(
+                    graph, radius, advice=advice, stats=stats, tracer=tracer
+                )
         outputs: Dict[Node, object] = {}
         with tracer.span("decide", n=len(views)) as decide_span, stats.phase(
             "decide"
@@ -138,12 +267,15 @@ def run_view_algorithm(
                         outputs[v] = result
                         if tracing:
                             tracer.event("decide", node=v, cached=False)
-            else:
+            elif tracing:
                 for v, view in views.items():
                     stats.decide_calls += 1
                     outputs[v] = decide(view)
-                    if tracing:
-                        tracer.event("decide", node=v, cached=False)
+                    tracer.event("decide", node=v, cached=False)
+            else:
+                # Hot path: one dict comprehension, one bulk counter add.
+                outputs.update((v, decide(view)) for v, view in views.items())
+                stats.decide_calls += len(views)
             if tracing:
                 # Declare this span's share of the work counters so the
                 # profiler (repro.obs.profile) can attribute self-vs-

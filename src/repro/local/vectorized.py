@@ -1,0 +1,754 @@
+"""Vectorized batched radius-``T`` view gathering (numpy sweeps over CSR).
+
+The scalar engine (:func:`repro.local.views.gather_all_views`) runs one
+Python BFS per root and eagerly materializes a full :class:`View` — five
+dicts, two frozensets — for every node, even when the decoder only reads a
+couple of accessors.  In the LOCAL model that is pure overhead: the work
+the model charges for is ``O(sum_v |B(v, T)|)`` integer traversal, which
+is exactly what numpy can do in bulk.
+
+This module replaces the per-root sweeps with **one masked multi-source
+BFS frontier sweep** over the :class:`~repro.local.compiled.CompiledGraph`
+CSR arrays for *all* roots at once:
+
+* the frontier is a pair of flat integer arrays ``(owner, node)`` —
+  ``owner`` is the root's slot, ``node`` a dense CSR index; one expansion
+  step is ``np.repeat`` over row degrees plus an offset ``np.arange``
+  gather into ``indices`` (the pointer/bin flat-array idiom);
+* visited state is a single flat boolean mask indexed by
+  ``owner * n + node`` — no per-root sets, no dicts; roots are processed
+  in blocks sized so the mask stays cache-resident (see ``_MASK_BUDGET``),
+  and the mask is allocated once and selectively cleared between blocks;
+* per-root grouping is a counting scatter over the per-layer owner counts
+  (``np.bincount`` + ``cumsum``), not a global sort: BFS layers already
+  leave each layer owner-sorted, so group ranks fall out of arithmetic;
+* visible edges (both endpoints in the ball, at least one *interior* —
+  the exact rule of :func:`repro.local.views.gather_view`) come from one
+  more expansion over the interior entries, computed **lazily** on first
+  ``edges`` access.  Every neighbor of an interior node is within
+  distance ``T`` by the triangle inequality, so no ball-membership test
+  is needed; the only filter is the dedupe rule
+  ``not interior(nbr) or src < nbr``, which keeps interior–interior
+  edges exactly once.
+
+The result is a :class:`BallBatch`: per-root slices into flat node /
+distance / edge arrays.  :class:`View` materialization becomes **lazy** —
+:meth:`BallBatch.view` returns a :class:`BatchView`, a ``View`` subclass
+whose fields (``nodes``, ``edges``, ``ids``, ``inputs``, ``advice``,
+``distances``) are built on first access from batch-level columns that
+are themselves converted from numpy at most once per batch.  Center
+accessors (``advice_of(center)``, ``distance(center)``, ...) answer in
+O(1) from per-root columns without building any per-view dict, so a
+decoder that only reads its center pays nothing for materialization.  A
+fully materialized ``BatchView`` is value-equal to the scalar
+:func:`~repro.local.views.gather_view` result; the test suite pins this
+batch-equals-scalar property on random graphs and radii.
+
+Soundness note: dict- and frozenset-valued ``View`` fields compare by
+*content*, so construction order never leaks into equality; iteration
+order of ``view.nodes`` may differ between engines, which is exactly the
+order-insensitivity the LOCAL-contract linter (rule LOC002) already
+demands of decoders.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .graph import LocalGraph, Node
+from .views import View
+
+try:  # numpy is optional: every caller gates on numpy_available()
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via engine fallback tests
+    _np = None
+
+#: soft budget for the visited mask: roots are processed in blocks of
+#: ``max(1, _MASK_BUDGET // n)`` so the mask stays ~4 MB of bools — small
+#: enough to live in last-level cache, which dominates the scattered
+#: fancy-indexing the sweep does (measured ~1.4x faster than a 32 MB mask).
+_MASK_BUDGET = 1 << 22
+
+#: one frontier expansion is materialized flat; its length must fit the
+#: 32-bit index arithmetic the sweep uses for speed.
+_EXPANSION_LIMIT = (1 << 31) - 1
+
+
+def numpy_available() -> bool:
+    """Whether the vectorized engine can run at all."""
+    return _np is not None
+
+
+# ---------------------------------------------------------------------------
+# The masked multi-source sweep
+# ---------------------------------------------------------------------------
+
+
+def _expand(indptr, indices, owner, node):
+    """One frontier expansion: all ``(owner, src, neighbor)`` triples, flat.
+
+    ``owner``/``src`` repeat each frontier entry once per incident edge;
+    ``nbr`` holds the neighbor indices gathered straight from the CSR
+    ``indices`` array.
+    """
+    starts = indptr[node]
+    degs = indptr[node + 1] - starts
+    total = int(degs.sum(dtype=_np.int64))
+    if total == 0:
+        empty = _np.empty(0, dtype=indices.dtype)
+        return empty, empty, empty
+    if total > _EXPANSION_LIMIT:  # pragma: no cover - needs a >2^31 frontier
+        raise ValueError(
+            "frontier expansion exceeds 2^31 entries; "
+            "lower block_budget to shrink the root blocks"
+        )
+    cum = _np.cumsum(degs, dtype=indices.dtype)
+    offsets = _np.arange(total, dtype=indices.dtype)
+    offsets -= _np.repeat(cum - degs, degs)
+    nbr = indices[_np.repeat(starts, degs) + offsets]
+    return _np.repeat(owner, degs), _np.repeat(node, degs), nbr
+
+
+def _dedupe_sorted(key):
+    """Sort ``key`` in place and drop duplicates (faster than np.unique)."""
+    key.sort()
+    keep = _np.empty(key.size, dtype=bool)
+    keep[0] = True
+    _np.not_equal(key[1:], key[:-1], out=keep[1:])
+    return key[keep]
+
+
+def _sweep_block(indptr, indices, n, roots_block, radius, visited):
+    """Masked multi-source BFS for one block of roots.
+
+    ``visited`` is a reusable flat boolean mask of at least
+    ``roots_block.size * n`` entries, all ``False`` on entry and restored
+    to ``False`` on return (cleared via the touched keys only — rezeroing
+    the whole mask per block costs more than the sweep).
+
+    Returns ``(sizes, g_node, g_dist)``: per-owner ball sizes and the
+    ball entries grouped per owner, distance-ordered within each owner.
+    """
+    block = roots_block.size
+    dtype = indices.dtype
+    owner0 = _np.arange(block, dtype=dtype)
+    key0 = owner0 * n + roots_block
+    visited[key0] = True
+
+    layers: List[Tuple] = [(owner0, roots_block)]
+    layer_keys = [key0]
+    f_owner, f_node = owner0, roots_block
+    for _depth in range(radius):
+        own, _, nbr = _expand(indptr, indices, f_owner, f_node)
+        if own.size == 0:
+            break
+        key = own * n + nbr
+        fresh = visited[key]
+        _np.logical_not(fresh, out=fresh)
+        key = key[fresh]
+        if key.size == 0:
+            break
+        key = _dedupe_sorted(key)  # dedupe within the layer
+        visited[key] = True
+        layer_keys.append(key)
+        own, nbr = _np.divmod(key, _np.asarray(n, dtype=dtype))
+        layers.append((own, nbr))
+        f_owner, f_node = own, nbr
+
+    # Counting scatter: each layer is owner-sorted (keys were sorted), so
+    # an entry's rank within its (layer, owner) group is its position
+    # minus the group start, and its final slot is the owner's base plus
+    # the entries of earlier layers plus that rank.  No argsort needed.
+    counts = [
+        _np.bincount(own, minlength=block).astype(dtype) for own, _ in layers
+    ]
+    sizes = counts[0].copy()
+    for bc in counts[1:]:
+        sizes += bc
+    fill = _np.cumsum(sizes, dtype=dtype) - sizes
+    total = int(_np.sum(sizes, dtype=_np.int64))
+    g_node = _np.empty(total, dtype=dtype)
+    g_dist = _np.empty(total, dtype=dtype)
+    for depth, ((own, node), bc) in enumerate(zip(layers, counts)):
+        group_starts = _np.cumsum(bc, dtype=dtype) - bc
+        dest = _np.arange(own.size, dtype=dtype) - group_starts[own] + fill[own]
+        g_node[dest] = node
+        g_dist[dest] = depth
+        fill += bc
+
+    # Restore the mask for the next block (touched keys only).
+    for key in layer_keys:
+        visited[key] = False
+
+    return sizes, g_node, g_dist
+
+
+def _extract_edges(compiled, roots, ball_indptr, ball_nodes, ball_dists, radius, block):
+    """Visible edges of every ball, grouped per owner (lazy half of the sweep).
+
+    Expands every *interior* ball entry (distance ``< radius``) one hop.
+    Every neighbor of an interior node is within distance ``radius`` by
+    the triangle inequality, hence always inside the ball, so the only
+    filter is the dedupe rule that keeps interior–interior edges exactly
+    once (from the endpoint with the smaller CSR index).  Returns
+    ``(edge_indptr, edge_lo, edge_hi)`` with ``ids[lo] < ids[hi]``.
+    """
+    n = compiled.n
+    indptr, indices, ids = _csr_arrays(compiled)
+    dtype = indices.dtype
+    nroots = int(roots.size)
+    e_count_parts: List = []
+    e_lo_parts: List = []
+    e_hi_parts: List = []
+    if nroots and ball_nodes.size:
+        interior_flat = _np.zeros(min(block, nroots) * n, dtype=bool)
+        for start in range(0, nroots, block):
+            stop = min(start + block, nroots)
+            lo, hi = int(ball_indptr[start]), int(ball_indptr[stop])
+            seg_sizes = _np.diff(ball_indptr[start : stop + 1]).astype(dtype)
+            g_owner = _np.repeat(
+                _np.arange(stop - start, dtype=dtype), seg_sizes
+            )
+            g_node = ball_nodes[lo:hi]
+            interior = ball_dists[lo:hi] < radius
+            i_owner, i_node = g_owner[interior], g_node[interior]
+            ikey = i_owner * n + i_node
+            interior_flat[ikey] = True
+            own, src, nbr = _expand(indptr, indices, i_owner, i_node)
+            if own.size:
+                keep = interior_flat[own * n + nbr]
+                _np.logical_not(keep, out=keep)
+                _np.logical_or(keep, src < nbr, out=keep)
+                own, src, nbr = own[keep], src[keep], nbr[keep]
+                swap = ids[src] > ids[nbr]
+                e_lo_parts.append(_np.where(swap, nbr, src))
+                e_hi_parts.append(_np.where(swap, src, nbr))
+                e_count_parts.append(
+                    _np.bincount(own, minlength=stop - start)
+                )
+            else:
+                e_count_parts.append(
+                    _np.zeros(stop - start, dtype=_np.int64)
+                )
+            interior_flat[ikey] = False
+    else:
+        e_count_parts.append(_np.zeros(nroots, dtype=_np.int64))
+
+    edge_indptr = _np.zeros(nroots + 1, dtype=_np.int64)
+    _np.cumsum(_concat(e_count_parts), out=edge_indptr[1:])
+    return edge_indptr, _concat(e_lo_parts, dtype), _concat(e_hi_parts, dtype)
+
+
+def _concat(parts, dtype=None):
+    if not parts:
+        return _np.empty(0, dtype=dtype if dtype is not None else _np.int64)
+    if len(parts) == 1:
+        return parts[0]
+    return _np.concatenate(parts)
+
+
+def _csr_arrays(compiled):
+    """The compiled CSR as numpy arrays, downcast to int32 when safe.
+
+    The sweep's key space is ``block * n <= _MASK_BUDGET`` (or ``n`` for
+    single-root blocks), so 32-bit arithmetic is exact whenever the graph
+    itself fits 32 bits — and roughly 15% faster end to end.  Falls back
+    to the public int64 snapshot for astronomically large inputs.
+    """
+    indptr, indices, ids = compiled.np_csr()
+    cache = getattr(compiled, "_np_csr32", None)
+    if cache is not None:
+        return cache
+    if (
+        compiled.n < (1 << 30)
+        and len(compiled.indices) < (1 << 31)
+        and (not compiled.ids or max(compiled.ids) < (1 << 31))
+    ):
+        cache = (
+            indptr.astype(_np.int32),
+            indices.astype(_np.int32),
+            ids.astype(_np.int32),
+        )
+    else:  # pragma: no cover - needs a >2^30-node graph
+        cache = (indptr, indices, ids)
+    compiled._np_csr32 = cache
+    return cache
+
+
+def gather_ball_batch(
+    graph: LocalGraph,
+    radius: int,
+    advice: Optional[Mapping[Node, str]] = None,
+    roots: Optional[Sequence[int]] = None,
+    stats=None,
+    block_budget: int = _MASK_BUDGET,
+) -> "BallBatch":
+    """Extract the radius-``radius`` balls of ``roots`` in flat arrays.
+
+    ``roots`` are dense CSR indices (default: every node, in compiled
+    order).  ``stats`` (a :class:`repro.perf.SimStats`) is charged the same
+    ``views_gathered`` / ``bfs_node_visits`` the scalar engine would count
+    — one view per root, one visit per ball entry — so telemetry and
+    perf-history entries stay engine-independent.  Edge extraction is
+    deferred until a view's ``edges`` field is first touched.
+    """
+    if _np is None:  # pragma: no cover - callers gate on numpy_available()
+        raise ImportError("numpy is required for the vectorized engine")
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    compiled = graph.compiled
+    n = compiled.n
+    indptr, indices, _ids = _csr_arrays(compiled)
+    dtype = indices.dtype
+    if roots is None:
+        root_arr = _np.arange(n, dtype=dtype)
+    else:
+        root_arr = _np.asarray(roots, dtype=dtype)
+        if root_arr.size and (root_arr.min() < 0 or root_arr.max() >= n):
+            raise ValueError("roots must be dense CSR indices in [0, n)")
+
+    block = max(1, block_budget // max(n, 1))
+    size_parts: List = []
+    node_parts: List = []
+    dist_parts: List = []
+    if root_arr.size:
+        visited = _np.zeros(min(block, root_arr.size) * n, dtype=bool)
+        for start in range(0, root_arr.size, block):
+            sizes, g_node, g_dist = _sweep_block(
+                indptr,
+                indices,
+                n,
+                root_arr[start : start + block],
+                radius,
+                visited,
+            )
+            size_parts.append(sizes)
+            node_parts.append(g_node)
+            dist_parts.append(g_dist)
+
+    ball_indptr = _np.zeros(root_arr.size + 1, dtype=_np.int64)
+    _np.cumsum(_concat(size_parts, dtype), out=ball_indptr[1:])
+    ball_nodes = _concat(node_parts, dtype)
+    ball_dists = _concat(dist_parts, dtype)
+
+    if stats is not None:
+        stats.views_gathered += int(root_arr.size)
+        stats.bfs_node_visits += int(ball_nodes.size)
+
+    return BallBatch(
+        graph=graph,
+        radius=radius,
+        advice=advice or {},
+        roots=root_arr,
+        ball_indptr=ball_indptr,
+        ball_nodes=ball_nodes,
+        ball_dists=ball_dists,
+        block=block,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The batch container and its lazy columns
+# ---------------------------------------------------------------------------
+
+
+class BallBatch:
+    """Flat-array radius-``T`` balls of many roots, with lazy columns.
+
+    The numpy arrays are the authoritative state; Python-object *columns*
+    (node objects, identifiers, advice strings, ...) are converted lazily,
+    once per batch, the first time any view touches the matching field —
+    so the conversion cost is amortized over every view in the batch and
+    skipped entirely for fields no decoder reads.  *Center columns* (one
+    entry per root, not per ball entry) serve the O(1) center fast paths
+    of :class:`BatchView`.  Edge arrays are extracted from the CSR on
+    first use (the sweep only records balls and distances).
+    """
+
+    __slots__ = (
+        "graph",
+        "radius",
+        "advice",
+        "roots",
+        "ball_indptr",
+        "ball_nodes",
+        "ball_dists",
+        "ball_ptr",
+        "graph_n",
+        "graph_max_degree",
+        "_block",
+        "_edges",
+        "_cols",
+    )
+
+    def __init__(
+        self,
+        graph: LocalGraph,
+        radius: int,
+        advice: Mapping[Node, str],
+        roots,
+        ball_indptr,
+        ball_nodes,
+        ball_dists,
+        block: int,
+    ) -> None:
+        self.graph = graph
+        self.radius = radius
+        self.advice = advice
+        self.roots = roots
+        self.ball_indptr = ball_indptr
+        self.ball_nodes = ball_nodes
+        self.ball_dists = ball_dists
+        # Plain-list pointer table: BatchView slices it on every field
+        # materialization, and Python ints are cheaper than numpy scalars.
+        self.ball_ptr = ball_indptr.tolist()
+        self.graph_n = graph.n
+        self.graph_max_degree = graph.max_degree
+        self._block = block
+        self._edges: Optional[Tuple] = None
+        self._cols: Dict[str, object] = {}
+
+    def __len__(self) -> int:
+        return int(self.roots.size)
+
+    # -- lazy edge arrays ----------------------------------------------------
+
+    def edge_arrays(self):
+        """``(edge_indptr, edge_lo, edge_hi)``, extracted on first use."""
+        if self._edges is None:
+            self._edges = _extract_edges(
+                self.graph.compiled,
+                self.roots,
+                self.ball_indptr,
+                self.ball_nodes,
+                self.ball_dists,
+                self.radius,
+                self._block,
+            )
+        return self._edges
+
+    # -- lazy columns --------------------------------------------------------
+
+    def column(self, name: str):
+        """The batch-level column ``name``, built on first use.
+
+        Ball-entry columns (one entry per ball member): ``node``, ``dist``,
+        ``id``, ``advice``, ``input`` (``None`` when the graph has no
+        inputs).  Edge columns: ``edge_ptr``, ``edge_lo``, ``edge_hi``.
+        Center columns (one entry per root): ``center_advice``,
+        ``center_id``, ``center_input``.
+        """
+        col = self._cols.get(name, _UNBUILT)
+        if col is _UNBUILT:
+            col = getattr(self, "_build_" + name)()
+            self._cols[name] = col
+        return col
+
+    def _build_node(self) -> list:
+        nodes = self.graph.compiled.nodes
+        return [nodes[i] for i in self.ball_nodes.tolist()]
+
+    def _build_dist(self) -> list:
+        return self.ball_dists.tolist()
+
+    def _build_id(self) -> list:
+        ids = self.graph.compiled.ids
+        return [ids[i] for i in self.ball_nodes.tolist()]
+
+    def _build_advice(self) -> list:
+        advice = self.advice
+        by_idx = [advice.get(v, "") for v in self.graph.compiled.nodes]
+        return [by_idx[i] for i in self.ball_nodes.tolist()]
+
+    def _build_input(self) -> Optional[list]:
+        inputs = self.graph._inputs
+        if not inputs:
+            return None  # sentinel: every input is None, use dict.fromkeys
+        by_idx = [inputs.get(v) for v in self.graph.compiled.nodes]
+        return [by_idx[i] for i in self.ball_nodes.tolist()]
+
+    def _build_edge_ptr(self) -> list:
+        return self.edge_arrays()[0].tolist()
+
+    def _build_edge_lo(self) -> list:
+        nodes = self.graph.compiled.nodes
+        return [nodes[i] for i in self.edge_arrays()[1].tolist()]
+
+    def _build_edge_hi(self) -> list:
+        nodes = self.graph.compiled.nodes
+        return [nodes[i] for i in self.edge_arrays()[2].tolist()]
+
+    def _build_center_advice(self) -> list:
+        advice = self.advice
+        nodes = self.graph.compiled.nodes
+        return [advice.get(nodes[r], "") for r in self.roots.tolist()]
+
+    def _build_center_id(self) -> list:
+        ids = self.graph.compiled.ids
+        return [ids[r] for r in self.roots.tolist()]
+
+    def _build_center_input(self) -> list:
+        inputs = self.graph._inputs
+        nodes = self.graph.compiled.nodes
+        return [inputs.get(nodes[r]) for r in self.roots.tolist()]
+
+    # -- view materialization ------------------------------------------------
+
+    def view(self, slot: int) -> "BatchView":
+        """The lazy :class:`View` of the root in ``slot`` (0-based)."""
+        center = self.graph.compiled.nodes[int(self.roots[slot])]
+        return BatchView(self, slot, center)
+
+    def views(self) -> Dict[Node, "BatchView"]:
+        """All views of the batch, keyed by root node (roots order)."""
+        nodes = self.graph.compiled.nodes
+        return {
+            nodes[root]: BatchView(self, slot, nodes[root])
+            for slot, root in enumerate(self.roots.tolist())
+        }
+
+
+class _Unbuilt:
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<unbuilt>"
+
+
+_UNBUILT = _Unbuilt()
+
+
+class BatchView(View):
+    """A radius-``T`` :class:`View` served lazily from a :class:`BallBatch`.
+
+    Field semantics are identical to the eagerly gathered ``View`` — a
+    fully materialized ``BatchView`` is value-equal to the corresponding
+    :func:`~repro.local.views.gather_view` result — but each field is
+    built on first access by slicing the batch columns, and the center
+    accessors (``advice_of``, ``distance``, ``id_of``, ``input_of`` on
+    ``view.center``) answer in O(1) from per-root columns without
+    building any dict.  All ``View`` methods (``order_signature``,
+    ``canonical``, ``neighbors``, ...) work unchanged on top of the lazy
+    fields.
+    """
+
+    # NOTE: the frozen-dataclass machinery of View is bypassed on purpose:
+    # instances populate __dict__ directly (assignment still raises
+    # FrozenInstanceError, like View) and the field *properties* below
+    # shadow what would have been dataclass instance attributes.
+
+    def __init__(self, batch: BallBatch, slot: int, center: Node) -> None:
+        self.__dict__.update(_batch=batch, _slot=slot, center=center)
+
+    # -- identity fields served straight from the batch ----------------------
+
+    @property
+    def radius(self) -> int:
+        return self._batch.radius
+
+    @property
+    def _graph_n(self) -> int:
+        return self._batch.graph_n
+
+    @property
+    def _graph_max_degree(self) -> int:
+        return self._batch.graph_max_degree
+
+    # -- lazy View fields ----------------------------------------------------
+
+    def _node_slice(self) -> list:
+        sl = self.__dict__.get("_nodes_l")
+        if sl is None:
+            b = self._batch
+            slot = self._slot
+            sl = b.column("node")[b.ball_ptr[slot] : b.ball_ptr[slot + 1]]
+            self.__dict__["_nodes_l"] = sl
+        return sl
+
+    def _slice(self, name: str) -> list:
+        b = self._batch
+        slot = self._slot
+        return b.column(name)[b.ball_ptr[slot] : b.ball_ptr[slot + 1]]
+
+    @property
+    def nodes(self):
+        v = self.__dict__.get("_nodes_c")
+        if v is None:
+            v = frozenset(self._node_slice())
+            self.__dict__["_nodes_c"] = v
+        return v
+
+    @property
+    def edges(self):
+        v = self.__dict__.get("_edges_c")
+        if v is None:
+            b = self._batch
+            slot = self._slot
+            ptr = b.column("edge_ptr")
+            es, ee = ptr[slot], ptr[slot + 1]
+            v = frozenset(
+                zip(b.column("edge_lo")[es:ee], b.column("edge_hi")[es:ee])
+            )
+            self.__dict__["_edges_c"] = v
+        return v
+
+    @property
+    def ids(self):
+        v = self.__dict__.get("_ids_c")
+        if v is None:
+            v = dict(zip(self._node_slice(), self._slice("id")))
+            self.__dict__["_ids_c"] = v
+        return v
+
+    @property
+    def inputs(self):
+        v = self.__dict__.get("_inputs_c")
+        if v is None:
+            col = self._batch.column("input")
+            if col is None:
+                v = dict.fromkeys(self._node_slice())
+            else:
+                b = self._batch
+                slot = self._slot
+                v = dict(
+                    zip(
+                        self._node_slice(),
+                        col[b.ball_ptr[slot] : b.ball_ptr[slot + 1]],
+                    )
+                )
+            self.__dict__["_inputs_c"] = v
+        return v
+
+    @property
+    def advice(self):
+        v = self.__dict__.get("_advice_c")
+        if v is None:
+            v = dict(zip(self._node_slice(), self._slice("advice")))
+            self.__dict__["_advice_c"] = v
+        return v
+
+    @property
+    def distances(self):
+        v = self.__dict__.get("_distances_c")
+        if v is None:
+            v = dict(zip(self._node_slice(), self._slice("dist")))
+            self.__dict__["_distances_c"] = v
+        return v
+
+    # -- O(1) center fast paths ----------------------------------------------
+    #
+    # Decoders overwhelmingly query their own center; answering those from
+    # the per-root columns keeps a center-only decoder allocation-free.
+    # Each override defers to the materialized dict once it exists so the
+    # two code paths cannot diverge.
+
+    def advice_of(self, v: Node) -> str:
+        cached = self.__dict__.get("_advice_c")
+        if cached is not None:
+            return cached.get(v, "")
+        if v == self.center:
+            return self._batch.column("center_advice")[self._slot]
+        return self.advice.get(v, "")
+
+    def distance(self, v: Node) -> int:
+        cached = self.__dict__.get("_distances_c")
+        if cached is not None:
+            return cached[v]
+        if v == self.center:
+            return 0
+        return self.distances[v]
+
+    def id_of(self, v: Node) -> int:
+        cached = self.__dict__.get("_ids_c")
+        if cached is not None:
+            return cached[v]
+        if v == self.center:
+            return self._batch.column("center_id")[self._slot]
+        return self.ids[v]
+
+    def input_of(self, v: Node) -> object:
+        cached = self.__dict__.get("_inputs_c")
+        if cached is not None:
+            return cached.get(v)
+        if v == self.center:
+            return self._batch.column("center_input")[self._slot]
+        return self.inputs.get(v)
+
+    # -- equality across engines --------------------------------------------
+
+    def _field_tuple(self):
+        return (
+            self.center,
+            self.radius,
+            self.nodes,
+            self.edges,
+            self.ids,
+            self.inputs,
+            self.advice,
+            self.distances,
+            self._graph_n,
+            self._graph_max_degree,
+        )
+
+    def __eq__(self, other: object):
+        if isinstance(other, View):
+            return self._field_tuple() == (
+                other.center,
+                other.radius,
+                other.nodes,
+                other.edges,
+                other.ids,
+                other.inputs,
+                other.advice,
+                other.distances,
+                other._graph_n,
+                other._graph_max_degree,
+            )
+        return NotImplemented
+
+    # Like View, BatchView is unhashable in practice (dict-valued fields).
+    __hash__ = None
+
+    def materialize(self) -> View:
+        """An eager plain :class:`View` with identical field values."""
+        return View(
+            center=self.center,
+            radius=self.radius,
+            nodes=self.nodes,
+            edges=self.edges,
+            ids=self.ids,
+            inputs=self.inputs,
+            advice=self.advice,
+            distances=self.distances,
+            _graph_n=self._graph_n,
+            _graph_max_degree=self._graph_max_degree,
+        )
+
+
+def gather_views_batched(
+    graph: LocalGraph,
+    radius: int,
+    advice: Optional[Mapping[Node, str]] = None,
+    stats=None,
+    tracer=None,
+    roots: Optional[Sequence[int]] = None,
+) -> Dict[Node, View]:
+    """Vectorized drop-in for :func:`repro.local.views.gather_all_views`.
+
+    Same contract (and the same ``gather`` span + counters when a tracer
+    is attached); the returned views are lazy :class:`BatchView` objects.
+    """
+    if tracer is None or not tracer.enabled:
+        return gather_ball_batch(
+            graph, radius, advice=advice, roots=roots, stats=stats
+        ).views()
+    with tracer.span(
+        "gather", radius=radius, n=graph.n, engine="vectorized"
+    ) as span:
+        batch = gather_ball_batch(
+            graph, radius, advice=advice, roots=roots, stats=stats
+        )
+        views = batch.views()
+        span.set(
+            views_gathered=len(batch),
+            bfs_node_visits=int(batch.ball_nodes.size),
+        )
+    return views

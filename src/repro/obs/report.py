@@ -295,6 +295,7 @@ _SUMMARY_COLUMNS = (
     ("T", "rounds"),
     ("bits/node", "bits_per_node"),
     ("type", "schema_type"),
+    ("engine", "engine"),
     ("views", "views_gathered"),
     ("bfs visits", "bfs_node_visits"),
     ("decides", "decide_calls"),
@@ -307,12 +308,15 @@ def _summary_rows(report: Mapping[str, object]) -> List[List[str]]:
     for record in report.get("schemas", []):
         if "error" in record:
             rows.append([str(record.get("schema")), "ERROR",
-                         str(record["error"])] + [""] * 7)
+                         str(record["error"])]
+                        + [""] * (len(_SUMMARY_COLUMNS) - 3))
             continue
         telemetry = record.get("telemetry") or {}
         row = []
         for _, key in _SUMMARY_COLUMNS:
             value = record.get(key, telemetry.get(key, ""))
+            if key == "engine" and not value:
+                value = "-"  # message-passing / manual-gather schemas
             if isinstance(value, float):
                 value = f"{value:g}"
             row.append(str(value))

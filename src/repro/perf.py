@@ -51,6 +51,13 @@ class SimStats:
     bfs_node_visits: int = 0
     decide_calls: int = 0
     messages_delivered: int = 0
+    #: which execution engine produced the run (``"scalar"``,
+    #: ``"vectorized"``, ``"parallel"``; empty for message passing and
+    #: legacy call sites) and, for the parallel engine, its worker count.
+    #: Both surface in :meth:`as_dict` only when set, so runs that predate
+    #: the engine dispatch keep their exact telemetry shape.
+    engine: str = ""
+    pool_size: int = 0
     phase_seconds: Dict[str, float] = field(default_factory=dict)
     #: exclusive (self) time per phase: cumulative time minus time spent in
     #: phases nested inside it.  ``total_seconds`` sums these, so nesting a
@@ -119,6 +126,9 @@ class SimStats:
         self.bfs_node_visits += other.bfs_node_visits
         self.decide_calls += other.decide_calls
         self.messages_delivered += other.messages_delivered
+        if not self.engine:
+            self.engine = other.engine
+        self.pool_size = max(self.pool_size, other.pool_size)
         for name, seconds in other.phase_seconds.items():
             self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
         for name, seconds in other.phase_self_seconds.items():
@@ -129,7 +139,13 @@ class SimStats:
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-ready snapshot (used by the benchmark harness)."""
+        out: Dict[str, object] = {}
+        if self.engine:
+            out["engine"] = self.engine
+        if self.pool_size:
+            out["pool_size"] = self.pool_size
         return {
+            **out,
             "views_gathered": self.views_gathered,
             "view_cache_hits": self.view_cache_hits,
             "view_cache_misses": self.view_cache_misses,

@@ -1,0 +1,139 @@
+"""certify_pure_decider: the machine-readable purity verdict.
+
+The certificate gates the parallel decode pool, so its two error modes
+have very different costs: certifying an impure decider would let the
+pool silently break the LOCAL contract (unsound), while refusing a pure
+one merely costs a fallback warning.  The tests pin the conservative
+direction — un-analyzable functions are never certified — and that each
+LOC rule blocks certification exactly for the decider that triggers it,
+not for impure siblings elsewhere in the module.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import PurityCertificate, certify_pure_decider
+from repro.local.views import mark_order_invariant
+from repro.schemas.two_coloring import _nearest_anchor_color
+
+
+def _load_module(tmp_path, name, source):
+    path = tmp_path / f"{name}.py"
+    path.write_text(textwrap.dedent(source))
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+MODULE_SOURCE = """
+    import random
+    import time
+
+    def pure_decider(view):
+        return min(view.nodes, default=None)
+
+    def impure_random(view):
+        return random.random()
+
+    def impure_time(view):
+        return time.time()
+
+    _cache = {}
+
+    def impure_mutation(view):
+        _cache[view.center] = 1
+        return 0
+
+    def calls_impure_helper(view):
+        return _helper(view)
+
+    def _helper(view):
+        return random.choice(sorted(view.nodes))
+"""
+
+
+class TestVerdicts:
+    def test_registered_decoder_certifies(self):
+        cert = certify_pure_decider(_nearest_anchor_color)
+        assert cert.pure
+        assert bool(cert) is True
+        assert "two_coloring" in cert.function
+
+    def test_unwrap_through_mark_order_invariant(self):
+        cert = certify_pure_decider(mark_order_invariant(_nearest_anchor_color))
+        assert cert.pure
+
+    def test_pure_despite_impure_siblings(self, tmp_path):
+        mod = _load_module(tmp_path, "deciders_a", MODULE_SOURCE)
+        cert = certify_pure_decider(mod.pure_decider)
+        assert cert.pure, cert.reason
+        assert cert.findings == ()
+
+    @pytest.mark.parametrize(
+        "name,rule",
+        [
+            ("impure_random", "LOC002"),
+            ("impure_time", "LOC002"),
+            ("impure_mutation", "LOC003"),
+        ],
+    )
+    def test_direct_impurity_blocks(self, tmp_path, name, rule):
+        mod = _load_module(tmp_path, f"deciders_{name}", MODULE_SOURCE)
+        cert = certify_pure_decider(getattr(mod, name))
+        assert not cert.pure
+        assert bool(cert) is False
+        assert any(v.rule == rule for v in cert.findings)
+        assert rule in cert.reason
+
+    def test_impurity_through_helper_blocks(self, tmp_path):
+        mod = _load_module(tmp_path, "deciders_h", MODULE_SOURCE)
+        cert = certify_pure_decider(mod.calls_impure_helper)
+        assert not cert.pure
+        assert "_helper" in cert.reason
+
+
+class TestConservativeRefusals:
+    def test_builtin_refused(self):
+        cert = certify_pure_decider(len)
+        assert not cert.pure
+        assert "no source" in cert.reason
+
+    def test_exec_generated_refused(self):
+        namespace = {}
+        exec("def generated(view):\n    return 1\n", namespace)
+        cert = certify_pure_decider(namespace["generated"])
+        assert not cert.pure
+
+    def test_lambda_refused(self, tmp_path):
+        mod = _load_module(
+            tmp_path, "deciders_lam", "decide = lambda view: 1\n"
+        )
+        cert = certify_pure_decider(mod.decide)
+        assert not cert.pure
+
+
+class TestCertificateShape:
+    def test_is_frozen_dataclass(self):
+        cert = PurityCertificate(pure=True, function="m:f")
+        with pytest.raises(Exception):
+            cert.pure = False
+
+    def test_waived_findings_reported_not_blocking(self, tmp_path):
+        mod = _load_module(
+            tmp_path,
+            "deciders_w",
+            """
+            from repro.analysis import lint_waiver
+
+            @lint_waiver("LOC002", "seeded via the view, reproducible")
+            def waived_decider(view):
+                return hash(frozenset(view.nodes))
+            """,
+        )
+        cert = certify_pure_decider(mod.waived_decider)
+        assert cert.pure
+        assert any(v.rule == "LOC002" for v in cert.waived)
