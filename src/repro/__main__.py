@@ -31,26 +31,40 @@ flamegraph-ready collapsed-stack lines.
 dashboard across all schemas (telemetry + work profiles + optional chaos
 and lint summaries, stamped with provenance) and maintains the cross-PR
 deterministic-metric history (:mod:`repro.obs.report`).
+
+``python -m repro bandwidth <schema> [--policy congest --budget B]
+[--json]`` reports one schema's bits-on-wire profile
+(:mod:`repro.obs.bandwidth`): total bits, per-round and per-edge
+quantiles, hotspot edges, and the minimal CONGEST budget that fits the
+run; under ``--policy congest`` a too-small ``--budget`` exits nonzero
+with the attributed overflow.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 from typing import Dict, Optional
 
 from .advice.schema import SchemaRun
 from .core.api import available_schemas, default_instance, make_schema
+from .local.model import ENGINES, use_engine
 from .obs import JsonlSink, RingSink, Tracer, format_span_tree, load_jsonl
 
 
 def run_one(
-    name: str, n: int, seed: int, tracer: Optional[Tracer] = None
+    name: str,
+    n: int,
+    seed: int,
+    tracer: Optional[Tracer] = None,
+    engine: Optional[str] = None,
 ) -> SchemaRun:
     graph, kwargs = default_instance(name, n, seed)
     schema = make_schema(name, **kwargs)
-    return schema.run(graph, tracer=tracer)
+    with use_engine(engine) if engine else contextlib.nullcontext():
+        return schema.run(graph, tracer=tracer)
 
 
 def trace_main(argv: list) -> int:
@@ -65,6 +79,11 @@ def trace_main(argv: list) -> int:
     parser.add_argument(
         "--out", default=None, help="trace file (default: trace-<schema>.jsonl)"
     )
+    parser.add_argument(
+        "--engine", choices=ENGINES, default=None,
+        help="execution engine for the decode "
+        "(matches run_view_algorithm(engine=...); default: ambient)",
+    )
     args = parser.parse_args(argv)
 
     out = args.out or f"trace-{args.schema}.jsonl"
@@ -72,7 +91,9 @@ def trace_main(argv: list) -> int:
     sink = JsonlSink(out)
     tracer = Tracer(ring, sink)
     try:
-        run = run_one(args.schema, args.n, args.seed, tracer=tracer)
+        run = run_one(
+            args.schema, args.n, args.seed, tracer=tracer, engine=args.engine
+        )
     except Exception as exc:
         tracer.close()
         print(f"{args.schema}: ERROR {type(exc).__name__}: {exc}")
@@ -92,6 +113,7 @@ def trace_main(argv: list) -> int:
     for key in (
         "beta", "rounds", "bits_per_node", "total_advice_bits", "schema_type",
         "views_gathered", "bfs_node_visits", "decide_calls", "cache_hit_rate",
+        "bits_on_wire",
     ):
         print(f"{key:20s} {run.telemetry.get(key)}")
     if run.failures:
@@ -205,15 +227,20 @@ def profile_main(argv: list) -> int:
         action="store_true",
         help="use the deterministic logical clock (trace work, not seconds)",
     )
+    parser.add_argument(
+        "--engine", choices=ENGINES, default=None,
+        help="execution engine for the decode "
+        "(matches run_view_algorithm(engine=...); default: ambient)",
+    )
     args = parser.parse_args(argv)
 
-    from .core.api import default_instance, make_schema
     from .obs import LogicalClock, profile_run
 
     graph, kwargs = default_instance(args.schema, args.n, args.seed)
     schema = make_schema(args.schema, **kwargs)
     clock = LogicalClock() if args.logical_clock else None
-    run, profile = profile_run(schema, graph, clock=clock)
+    with use_engine(args.engine) if args.engine else contextlib.nullcontext():
+        run, profile = profile_run(schema, graph, clock=clock)
 
     print(f"== profile: {args.schema} (n={run.n}, seed={args.seed})")
     print(profile.table())
@@ -236,6 +263,90 @@ def profile_main(argv: list) -> int:
             fh.write("\n")
         print(f"\nwrote collapsed stacks ({args.metric}) -> {args.collapsed}")
     return 0 if run.valid and not mismatches else 1
+
+
+def bandwidth_main(argv: list) -> int:
+    """``python -m repro bandwidth <schema>``: the bits-on-wire profile."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bandwidth",
+        description="Run one schema under a bandwidth policy and report its "
+        "bits-on-wire profile: total bits, per-round/per-edge quantiles, "
+        "hotspot edges, and the minimal CONGEST budget that fits the run.",
+    )
+    parser.add_argument("schema", choices=available_schemas())
+    parser.add_argument("--n", type=int, default=120, help="instance size hint")
+    parser.add_argument("--seed", type=int, default=0, help="identifier seed")
+    parser.add_argument(
+        "--policy", choices=("local", "congest"), default="local",
+        help="bandwidth policy: local records, congest enforces "
+        "budget*ceil(log2 n) bits per edge per round (default: local)",
+    )
+    parser.add_argument(
+        "--budget", type=int, default=1, metavar="B",
+        help="CONGEST budget B (only with --policy congest; default 1)",
+    )
+    parser.add_argument(
+        "--engine", choices=ENGINES, default=None,
+        help="execution engine for the decode (default: ambient)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the raw BandwidthProfile as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    from .obs import BandwidthExceeded, parse_policy, use_bandwidth_policy
+
+    policy = parse_policy(
+        args.policy, args.budget if args.policy == "congest" else None
+    )
+    try:
+        with use_bandwidth_policy(policy):
+            run = run_one(args.schema, args.n, args.seed, engine=args.engine)
+    except BandwidthExceeded as exc:
+        print(f"{args.schema}: BANDWIDTH EXCEEDED under {policy.describe()}")
+        print(f"  {exc}")
+        report = getattr(exc, "failure_report", None)
+        if report is not None:
+            print(f"  {report.summary()}")
+        return 1
+    profile = run.bandwidth
+    if profile is None:  # pragma: no cover - policies here always record
+        print(f"{args.schema}: no bandwidth profile recorded")
+        return 1
+    if args.json:
+        print(json.dumps(profile.as_dict(), indent=2, sort_keys=True))
+        return 0 if run.valid else 1
+
+    per_round, per_edge = profile.per_round, profile.per_edge
+    print(
+        f"== bandwidth: {args.schema} "
+        f"(n={run.n}, seed={args.seed}, policy={policy.describe()})"
+    )
+    print(f"total bits on wire   {profile.total_bits}")
+    print(f"rounds               {profile.rounds}")
+    print(f"edges used           {profile.edges_used}")
+    print(f"id bits (ceil log n) {profile.id_bits}")
+    if profile.capacity_bits is not None:
+        print(f"edge capacity/round  {profile.capacity_bits}")
+    print(
+        f"per-round bits       p50={per_round.get('p50'):g} "
+        f"p95={per_round.get('p95'):g} max={per_round.get('max'):g}"
+    )
+    print(
+        f"per-edge bits        p50={per_edge.get('p50'):g} "
+        f"p95={per_edge.get('p95'):g} max={per_edge.get('max'):g}"
+    )
+    print(
+        f"peak round           {profile.peak_round[0]} "
+        f"({profile.peak_round[1]} bits)"
+    )
+    print(f"peak edge*round bits {profile.peak_edge_round_bits}")
+    print(f"min CONGEST budget   {profile.min_congest_budget}")
+    print("hotspot edges:")
+    for hotspot in profile.hotspots:
+        print(f"  edge {tuple(hotspot['edge'])}: {hotspot['bits']} bits")
+    return 0 if run.valid else 1
 
 
 def _json_record(name: str, run: SchemaRun) -> Dict[str, object]:
@@ -269,6 +380,8 @@ def main(argv: Optional[list] = None) -> int:
         from .obs.report import report_main
 
         return report_main(argv[1:])
+    if argv and argv[0] == "bandwidth":
+        return bandwidth_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",

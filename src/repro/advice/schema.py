@@ -26,8 +26,15 @@ from ..lcl.problem import Label, LCLProblem
 from ..lcl.verify import violations
 from ..local.algorithm import LocalityTracker
 from ..local.graph import LocalGraph, Node
+from ..obs.bandwidth import (
+    BandwidthExceeded,
+    BandwidthProfile,
+    current_bandwidth_policy,
+    flooding_bandwidth,
+)
 from ..obs.failure import (
     FailureReport,
+    build_bandwidth_report,
     build_error_report,
     build_violation_reports,
 )
@@ -135,6 +142,12 @@ class SchemaRun:
     valid: Optional[bool] = None
     telemetry: Dict[str, object] = field(default_factory=dict)
     failures: List[FailureReport] = field(default_factory=list)
+    #: bits-on-wire accounting of the decode under the ambient
+    #: :class:`repro.obs.bandwidth.BandwidthPolicy` — the engine meter's
+    #: profile when the decoder ran message passing, else the
+    #: flooding-equivalent accounting of its ``T`` rounds; ``None`` only
+    #: under the ``off`` policy.
+    bandwidth: Optional[BandwidthProfile] = None
     #: set by the robust runner (:mod:`repro.faults`): the
     #: :class:`repro.obs.robustness.RobustnessReport` of the run, if any.
     robustness: Optional[object] = None
@@ -276,6 +289,9 @@ class AdviceSchema(abc.ABC):
                     n=graph.n,
                     max_degree=graph.max_degree,
                 )
+                run.bandwidth = self._account_bandwidth(
+                    graph, run, registry, tracer
+                )
                 violations_total = registry.counter("violations_total")
                 if check:
                     with tracer.span("verify", schema=self.name) as verify_span:
@@ -307,6 +323,54 @@ class AdviceSchema(abc.ABC):
         finally:
             self._active_tracer = previous
 
+    def _account_bandwidth(
+        self,
+        graph: LocalGraph,
+        run: SchemaRun,
+        registry: MetricsRegistry,
+        tracer: Tracer,
+    ) -> Optional[BandwidthProfile]:
+        """Attach the run's bits-on-wire accounting under the ambient policy.
+
+        Decoders that executed :func:`repro.local.run_message_passing`
+        already carry the engine meter's profile on ``result.stats`` and
+        keep it; everything else (the nine centrally-decoded schemas, and
+        view-semantics decodes on any engine) gets the flooding-equivalent
+        accounting of its ``T`` rounds — a pure function of
+        ``(graph, rounds, advice)``, so telemetry stays bit-identical
+        across engines.  A CONGEST overflow gains an attributed
+        ``failure_report`` before propagating, mirroring decode errors.
+        """
+        policy = current_bandwidth_policy()
+        stats = run.result.stats
+        profile = stats.bandwidth if stats is not None else None
+        if profile is None:
+            if not policy.records:
+                return None
+            with tracer.span(
+                "bandwidth", schema=self.name, policy=policy.describe()
+            ) as bw_span:
+                try:
+                    profile = flooding_bandwidth(
+                        graph, run.rounds, run.advice, policy
+                    )
+                except BandwidthExceeded as exc:
+                    registry.counter("bandwidth_exceeded_total").inc()
+                    exc.failure_report = build_bandwidth_report(
+                        self.name,
+                        graph,
+                        run.advice,
+                        exc,
+                        rounds_hint=run.rounds,
+                        ring=tracer.ring(),
+                    )
+                    raise
+                if stats is not None:
+                    stats.bits_on_wire = profile.total_bits
+                    stats.bandwidth = profile
+                bw_span.set(bits_on_wire=profile.total_bits)
+        return profile
+
     def _build_telemetry(
         self, run: SchemaRun, registry: MetricsRegistry
     ) -> Dict[str, object]:
@@ -333,9 +397,15 @@ class AdviceSchema(abc.ABC):
             hist.observe(len(bits))
         for _ in range(run.n - len(run.advice)):
             hist.observe(0)  # nodes absent from the map carry no advice
+        if run.bandwidth is not None:
+            # Decoders whose stats predate (or bypass) the meter still get
+            # the schema-level accounting folded into their counters.
+            stats_dict["bits_on_wire"] = run.bandwidth.total_bits
         registry.merge_stats(stats_dict)
         telemetry: Dict[str, object] = dict(stats_dict)
         telemetry.update(registry.snapshot())
+        if run.bandwidth is not None:
+            telemetry["bandwidth"] = run.bandwidth.as_dict()
         telemetry.update(
             beta=run.beta,
             rounds=run.rounds,

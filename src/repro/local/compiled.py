@@ -58,6 +58,7 @@ class CompiledGraph:
         "_dist",
         "_np_csr",
         "_np_csr32",
+        "_np_flood",
     )
 
     def __init__(
@@ -99,6 +100,9 @@ class CompiledGraph:
         # downcast cache is owned by repro.local.vectorized._csr_arrays.
         self._np_csr = None
         self._np_csr32 = None
+        # Lazily built flooding-BFS frontier cache owned by
+        # repro.obs.bandwidth._flood_state (structure-only, advice-free).
+        self._np_flood = None
 
     @classmethod
     def from_local(cls, graph: "LocalGraph") -> "CompiledGraph":  # noqa: F821

@@ -15,6 +15,14 @@ The two are equivalent in the LOCAL model because messages are unbounded:
 ``T`` rounds of flooding deliver exactly the radius-``T`` view.
 :class:`GatherAlgorithm` implements that flooding explicitly, and the test
 suite cross-checks the two engines against each other.
+
+Bandwidth is a *policy over this one engine*, not a fork
+(:mod:`repro.obs.bandwidth`): under :data:`repro.obs.bandwidth.LOCAL`
+every message's canonical bit size is metered per ``(edge, round)`` and
+merely recorded; under ``CONGEST(B)`` the same meter enforces the
+``B·⌈log n⌉`` per-edge-per-round cap and overflow raises an attributed
+:class:`repro.obs.bandwidth.BandwidthExceeded`; ``OFF`` restores the
+meter-free fast path.
 """
 
 from __future__ import annotations
@@ -25,6 +33,12 @@ from contextvars import ContextVar
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, Iterator, List, Mapping, Optional
 
+from ..obs.bandwidth import (
+    BandwidthMeter,
+    BandwidthPolicy,
+    current_bandwidth_policy,
+    measure_bits,
+)
 from ..obs.trace import NULL_TRACER
 from ..perf import SimStats
 from .graph import LocalGraph, Node
@@ -335,6 +349,9 @@ class _Unset:
 
 _UNSET = _Unset()
 
+#: the single fate of a message on a fault-free wire: deliver this round.
+_DELIVER_NOW = (0,)
+
 
 def run_message_passing(
     graph: LocalGraph,
@@ -344,6 +361,7 @@ def run_message_passing(
     trace: Optional["MessageTrace"] = None,
     tracer=None,
     faults=None,
+    policy: Optional[BandwidthPolicy] = None,
 ) -> RunResult:
     """Run a synchronous message-passing algorithm until all nodes halt.
 
@@ -362,6 +380,19 @@ def run_message_passing(
     output ``faults.crash_output``, stop sending, and stop receiving
     (in-flight messages to them are discarded).  ``faults=None`` keeps
     the fault-free fast path byte-identical to before.
+
+    ``policy`` (default: the ambient
+    :func:`repro.obs.bandwidth.current_bandwidth_policy`) selects the
+    bandwidth accounting: every message is sized once per round through
+    :func:`repro.obs.bandwidth.measure_bits` and charged to its
+    ``(edge, round)`` in a :class:`repro.obs.bandwidth.BandwidthMeter`.
+    ``local`` records (``stats.bits_on_wire`` / ``stats.bandwidth``),
+    ``congest`` additionally raises
+    :class:`repro.obs.bandwidth.BandwidthExceeded` the moment an edge
+    exceeds ``B·⌈log n⌉`` bits in one round, and ``off`` skips metering.
+    Fault interaction is pinned by the fault tests: a dropped message
+    still counts at its send round, a duplicated one counts twice, and a
+    delayed one counts in its delivery round.
     """
     advice = advice or {}
     if tracer is None:
@@ -371,6 +402,9 @@ def run_message_passing(
     delta = graph.max_degree
     nodes = graph.nodes()
     stats = SimStats()
+    if policy is None:
+        policy = current_bandwidth_policy()
+    meter = BandwidthMeter(policy, n) if policy.records else None
     with tracer.span("run_message_passing", n=n) as run_span:
         algos: Dict[Node, MessagePassingAlgorithm] = {}
         for v in nodes:
@@ -402,8 +436,9 @@ def run_message_passing(
                 rev_port[v] = [compiled.port_of(u, v) for u in nbrs]
 
         sender_ids: Dict[Node, int] = {}
-        pending: Dict[int, List] = {}  # delivery round -> [(target, port, msg)]
-        if faults is not None:
+        # delivery round -> [(target, port, msg, sender_id, bits)]
+        pending: Dict[int, List] = {}
+        if faults is not None or meter is not None:
             sender_ids = {v: graph.id_of(v) for v in nodes}
 
         rounds = 0
@@ -425,10 +460,26 @@ def run_message_passing(
                 }
                 inboxes: Dict[Node, Dict[int, object]] = {v: {} for v in nodes}
                 if faults is not None:
-                    for target, in_port, message in pending.pop(rounds, ()):
+                    for target, in_port, message, from_id, mbits in pending.pop(
+                        rounds, ()
+                    ):
+                        if meter is not None:
+                            # Delayed messages are charged in the round the
+                            # wire actually carries them to the receiver.
+                            meter.charge(
+                                rounds,
+                                from_id,
+                                sender_ids[target],
+                                mbits,
+                                node=target,
+                            )
                         if not algos[target].halted:
                             inboxes[target][in_port] = message
                             stats.messages_delivered += 1
+                # One payload object is often fanned out on every port
+                # (GatherAlgorithm broadcasts its whole state); size each
+                # distinct object once per round.
+                sized: Dict[int, int] = {}
                 for v in nodes:
                     nbrs = nbrs_at[v]
                     back = rev_port[v]
@@ -437,18 +488,55 @@ def run_message_passing(
                             raise SimulationError(
                                 f"node {v!r} sent on invalid port {port}"
                             )
-                        if faults is None:
+                        if faults is None and meter is None:
+                            # The historical meter-free LOCAL fast path.
                             inboxes[nbrs[port]][back[port]] = message
                             stats.messages_delivered += 1
                             continue
-                        for delay in faults.fate(rounds, sender_ids[v], port):
+                        target = nbrs[port]
+                        if meter is None:
+                            mbits = 0
+                        else:
+                            mbits = sized.get(id(message))
+                            if mbits is None:
+                                mbits = measure_bits(message)
+                                sized[id(message)] = mbits
+                        if faults is None:
+                            fates = _DELIVER_NOW
+                        else:
+                            fates = faults.fate(rounds, sender_ids[v], port)
+                            if meter is not None and not fates:
+                                # Dropped in transit: the sender still put
+                                # it on the wire in its send round.
+                                meter.charge(
+                                    rounds,
+                                    sender_ids[v],
+                                    sender_ids[target],
+                                    mbits,
+                                    node=v,
+                                )
+                        for delay in fates:
                             if delay <= 0:
-                                if not algos[nbrs[port]].halted:
-                                    inboxes[nbrs[port]][back[port]] = message
+                                if meter is not None:
+                                    meter.charge(
+                                        rounds,
+                                        sender_ids[v],
+                                        sender_ids[target],
+                                        mbits,
+                                        node=v,
+                                    )
+                                if faults is None or not algos[target].halted:
+                                    inboxes[target][back[port]] = message
                                     stats.messages_delivered += 1
                             else:
                                 pending.setdefault(rounds + delay, []).append(
-                                    (nbrs[port], back[port], message)
+                                    (
+                                        target,
+                                        back[port],
+                                        message,
+                                        sender_ids[v],
+                                        mbits,
+                                    )
                                 )
                 if trace is not None:
                     trace.record_round(outboxes)
@@ -462,6 +550,9 @@ def run_message_passing(
                     if not algos[v].halted:
                         algos[v].receive(rounds, inboxes[v])
                 rounds += 1
+        if meter is not None:
+            stats.bits_on_wire = meter.total_bits
+            stats.bandwidth = meter.profile(rounds)
         if tracing:
             run_span.set(rounds=rounds, **stats.as_dict())
 

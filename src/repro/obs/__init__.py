@@ -10,6 +10,11 @@ Three pieces, designed to stay out of the hot path until asked for:
   ``SchemaRun.telemetry``.
 * :mod:`repro.obs.failure` — ``FailureReport`` attribution for invalid
   labelings and decoder errors.
+* :mod:`repro.obs.bandwidth` — bits-on-wire accounting: the
+  ``BandwidthPolicy`` split (LOCAL records, ``CONGEST(B)`` enforces
+  ``B·⌈log n⌉`` bits per edge per round), the ``measure_bits`` message
+  encoder, the per-``(edge, round)`` ``BandwidthMeter``, and the
+  aggregated ``BandwidthProfile`` every schema run carries.
 * :mod:`repro.obs.robustness` — ``RobustnessReport``/``RepairAction``
   records emitted by the self-healing runner (:mod:`repro.faults`).
 * :mod:`repro.obs.profile` — ``WorkProfile`` span-tree work attribution
@@ -20,6 +25,20 @@ Three pieces, designed to stay out of the hot path until asked for:
   (``python -m repro report``) and the cross-PR perf history.
 """
 
+from .bandwidth import (
+    CONGEST,
+    LOCAL,
+    OFF,
+    BandwidthExceeded,
+    BandwidthMeter,
+    BandwidthPolicy,
+    BandwidthProfile,
+    current_bandwidth_policy,
+    flooding_bandwidth,
+    measure_bits,
+    parse_policy,
+    use_bandwidth_policy,
+)
 from .diff import (
     DETERMINISTIC_TOLERANCES,
     MetricDelta,
@@ -30,6 +49,7 @@ from .diff import (
 )
 from .failure import (
     FailureReport,
+    build_bandwidth_report,
     build_error_report,
     build_order_violation_report,
     build_violation_reports,
@@ -54,9 +74,16 @@ from .trace import (
 )
 
 __all__ = [
+    "BandwidthExceeded",
+    "BandwidthMeter",
+    "BandwidthPolicy",
+    "BandwidthProfile",
+    "CONGEST",
     "Counter",
     "DETERMINISTIC_TOLERANCES",
     "FailureReport",
+    "LOCAL",
+    "OFF",
     "Gauge",
     "Histogram",
     "JsonlSink",
@@ -73,19 +100,25 @@ __all__ = [
     "WorkProfile",
     "allowed_drift",
     "as_tracer",
+    "build_bandwidth_report",
     "build_error_report",
     "build_order_violation_report",
     "build_provenance",
     "build_violation_reports",
     "collect_report",
+    "current_bandwidth_policy",
     "diff_profiles",
     "diff_telemetry",
+    "flooding_bandwidth",
     "format_deltas",
     "format_span_tree",
     "load_jsonl",
+    "measure_bits",
     "parse_collapsed",
+    "parse_policy",
     "profile_run",
     "render_markdown",
+    "use_bandwidth_policy",
     "span_tree",
     "view_fingerprint",
 ]

@@ -1,0 +1,936 @@
+"""Bits-on-wire accounting: LOCAL vs CONGEST as policies over one engine.
+
+The LOCAL model ignores message size; CONGEST caps every edge at
+``B * ceil(log2 n)`` bits per round (Peleg's standard parameterization,
+``B = 1`` unless stated).  The engine historically simulated LOCAL only,
+which made communication *invisible*: the Def. 3.2 telemetry (β, rounds,
+bits per node) had no bits-on-wire column, and nothing could say whether
+a schema's decoder would survive a bandwidth-bounded network.
+
+This module makes the model split explicit and observable:
+
+* :func:`measure_bits` — the canonical bit-size encoder for message
+  payloads (ints, bit-strings, tuples, dataclasses, ...), with the
+  type→sizer resolution cached per message class;
+* :class:`BandwidthPolicy` — :data:`LOCAL` (unbounded, record only),
+  :func:`CONGEST` (``B·⌈log n⌉`` bits per edge per round, overflow is a
+  hard error) and :data:`OFF` (no metering at all, for overhead A/B);
+  the ambient policy flows through :func:`use_bandwidth_policy` exactly
+  like :func:`repro.local.use_engine` flows the engine choice;
+* :class:`BandwidthMeter` — per-``(edge, round)`` charging used by
+  :func:`repro.local.run_message_passing`; a CONGEST overflow raises a
+  :class:`BandwidthExceeded` attributed to node/edge/round/bits;
+* :class:`BandwidthProfile` — the aggregate: total bits-on-wire,
+  per-round and per-edge histograms (p50/p95 via
+  :meth:`repro.obs.metrics.Histogram.quantile`), hotspot edges, and the
+  minimal CONGEST budget that would have fit the run;
+* :func:`flooding_bandwidth` — the *flooding-equivalent* accounting for
+  view-semantics runs: a ``T``-round LOCAL algorithm is realized
+  canonically by incremental flooding (each node forwards, in round
+  ``t``, the records it learned in round ``t-1``, i.e. its distance-
+  ``(t-1)`` layer), so its bits-on-wire is a pure function of
+  ``(graph, T, advice)`` — independent of which execution engine
+  (scalar/vectorized/parallel) produced the outputs.
+
+Canonical record encoding (what one node's flooded record costs): its
+identifier (``⌈log n⌉`` bits), its port-ordered adjacency list
+(``deg·⌈log n⌉`` bits — enough to reconstruct every ball edge), its
+advice bit-string verbatim, and its input through :func:`measure_bits`.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, fields, is_dataclass
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from .metrics import Histogram
+
+__all__ = [
+    "BandwidthExceeded",
+    "BandwidthMeter",
+    "BandwidthPolicy",
+    "BandwidthProfile",
+    "CONGEST",
+    "LOCAL",
+    "OFF",
+    "current_bandwidth_policy",
+    "flooding_bandwidth",
+    "id_bits",
+    "measure_bits",
+    "parse_policy",
+    "use_bandwidth_policy",
+]
+
+
+def id_bits(n: int) -> int:
+    """Bits of one identifier in an ``n``-node graph: ``max(1, ⌈log2 n⌉)``."""
+    return max(1, math.ceil(math.log2(max(2, int(n)))))
+
+
+# ---------------------------------------------------------------------------
+# The canonical bit-size encoder
+# ---------------------------------------------------------------------------
+
+_BITSTRING_CHARS = frozenset("01")
+
+
+def _size_none(_: object) -> int:
+    return 1
+
+
+def _size_bool(_: object) -> int:
+    return 1
+
+
+def _size_int(value: int) -> int:
+    # Sign bit plus magnitude; zero still occupies one bit on the wire.
+    return 1 + max(1, abs(value).bit_length())
+
+
+def _size_float(_: float) -> int:
+    return 64
+
+
+def _size_complex(_: complex) -> int:
+    return 128
+
+
+def _size_str(value: str) -> int:
+    # Advice labels are bit-strings and cost exactly their length; any
+    # other text is charged one byte per character.
+    if not value:
+        return 0
+    if _BITSTRING_CHARS.issuperset(value):
+        return len(value)
+    return 8 * len(value)
+
+
+def _size_bytes(value: bytes) -> int:
+    return 8 * len(value)
+
+
+def _size_sequence(value) -> int:
+    # Two framing bits for the container, one separator bit per element.
+    return 2 + sum(1 + measure_bits(item) for item in value)
+
+
+def _size_mapping(value) -> int:
+    return 2 + sum(
+        1 + measure_bits(k) + measure_bits(v) for k, v in value.items()
+    )
+
+
+#: ``type -> sizer`` dispatch table.  Unknown classes are resolved once by
+#: :func:`_resolve_sizer` and cached here — "cached per message class".
+_SIZERS: Dict[type, Callable[[object], int]] = {
+    type(None): _size_none,
+    bool: _size_bool,
+    int: _size_int,
+    float: _size_float,
+    complex: _size_complex,
+    str: _size_str,
+    bytes: _size_bytes,
+    bytearray: _size_bytes,
+    tuple: _size_sequence,
+    list: _size_sequence,
+    set: _size_sequence,
+    frozenset: _size_sequence,
+    dict: _size_mapping,
+}
+
+
+def _resolve_sizer(cls: type) -> Callable[[object], int]:
+    """Build (once per class) the sizer for a user-defined message class."""
+    if is_dataclass(cls):
+        names = tuple(f.name for f in fields(cls))
+        return lambda obj: 2 + sum(
+            1 + measure_bits(getattr(obj, name)) for name in names
+        )
+    for base, sizer in (
+        (bool, _size_bool),
+        (int, _size_int),
+        (float, _size_float),
+        (str, _size_str),
+        ((bytes, bytearray), _size_bytes),
+        (dict, _size_mapping),
+        ((tuple, list, set, frozenset), _size_sequence),
+    ):
+        if issubclass(cls, base):  # type: ignore[arg-type]
+            return sizer
+    if hasattr(cls, "__dict__") or not hasattr(cls, "__slots__"):
+        return lambda obj: _size_mapping(vars(obj))
+    slots = tuple(
+        name
+        for klass in cls.__mro__
+        for name in getattr(klass, "__slots__", ())
+    )
+    return lambda obj: 2 + sum(
+        1 + measure_bits(getattr(obj, name))
+        for name in slots
+        if hasattr(obj, name)
+    )
+
+
+def measure_bits(obj: object) -> int:
+    """Canonical bit size of one message payload (deterministic, total).
+
+    Ints cost sign + magnitude, bit-strings their length, other text one
+    byte per character, containers two framing bits plus one separator
+    bit per element, dataclasses and plain objects their attribute dict.
+    The type→sizer resolution is cached per class, so repeated messages
+    of one protocol's message class pay a single dict lookup.
+    """
+    sizer = _SIZERS.get(type(obj))
+    if sizer is None:
+        sizer = _resolve_sizer(type(obj))
+        _SIZERS[type(obj)] = sizer
+    return sizer(obj)
+
+
+# ---------------------------------------------------------------------------
+# Policies
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BandwidthPolicy:
+    """How much may cross one edge in one round, and what to do about it.
+
+    ``local`` records everything and bounds nothing; ``congest`` caps
+    every edge at ``budget·⌈log2 n⌉`` bits per round and raises
+    :class:`BandwidthExceeded` on overflow; ``off`` skips metering
+    entirely (the A/B arm of the overhead benchmark).
+    """
+
+    name: str
+    budget: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.name not in ("local", "congest", "off"):
+            raise ValueError(
+                f"unknown bandwidth policy {self.name!r}; "
+                "expected 'local', 'congest', or 'off'"
+            )
+        if self.name == "congest":
+            if self.budget is None or int(self.budget) < 1:
+                raise ValueError("CONGEST requires an integer budget >= 1")
+        elif self.budget is not None:
+            raise ValueError(f"policy {self.name!r} takes no budget")
+
+    @property
+    def records(self) -> bool:
+        """Whether runs under this policy account bits at all."""
+        return self.name != "off"
+
+    @property
+    def bounded(self) -> bool:
+        return self.name == "congest"
+
+    def capacity(self, n: int) -> Optional[int]:
+        """Per-``(edge, round)`` bit cap on an ``n``-node graph (None = ∞)."""
+        if self.name != "congest":
+            return None
+        return int(self.budget) * id_bits(n)
+
+    def describe(self) -> str:
+        if self.name == "congest":
+            return f"CONGEST(B={self.budget})"
+        return self.name.upper()
+
+
+LOCAL = BandwidthPolicy("local")
+OFF = BandwidthPolicy("off")
+
+
+def CONGEST(budget: int = 1) -> BandwidthPolicy:
+    """The ``B·⌈log n⌉``-bits-per-edge-per-round policy (default ``B=1``)."""
+    return BandwidthPolicy("congest", int(budget))
+
+
+def parse_policy(name: str, budget: Optional[int] = None) -> BandwidthPolicy:
+    """CLI-friendly constructor: ``parse_policy("congest", 4)``."""
+    name = name.lower()
+    if name == "congest":
+        return CONGEST(budget if budget is not None else 1)
+    if name == "local":
+        return LOCAL
+    if name == "off":
+        return OFF
+    raise ValueError(
+        f"unknown bandwidth policy {name!r}; expected local/congest/off"
+    )
+
+
+#: ambient policy for runs that don't pass one explicitly, mirroring the
+#: engine selection contextvar (:func:`repro.local.use_engine`).
+_POLICY_VAR: ContextVar[BandwidthPolicy] = ContextVar(
+    "repro_bandwidth_policy", default=LOCAL
+)
+
+
+@contextmanager
+def use_bandwidth_policy(policy: BandwidthPolicy) -> Iterator[None]:
+    """Set the ambient :class:`BandwidthPolicy` for runs within the block."""
+    if not isinstance(policy, BandwidthPolicy):
+        raise TypeError(f"expected a BandwidthPolicy, got {policy!r}")
+    token = _POLICY_VAR.set(policy)
+    try:
+        yield
+    finally:
+        _POLICY_VAR.reset(token)
+
+
+def current_bandwidth_policy() -> BandwidthPolicy:
+    """The ambient policy (:data:`LOCAL` unless a caller chose otherwise)."""
+    return _POLICY_VAR.get()
+
+
+# ---------------------------------------------------------------------------
+# Overflow
+# ---------------------------------------------------------------------------
+
+
+class BandwidthExceeded(RuntimeError):
+    """A CONGEST edge carried more bits in one round than its capacity.
+
+    Attributed: ``node`` (the sending endpoint), ``edge`` (identifier
+    pair, low id first), ``round_index``, ``bits`` (the edge's load in
+    that round after the overflowing charge), and ``capacity``.  The
+    schema layer attaches a ``failure_report``
+    (:func:`repro.obs.failure.build_bandwidth_report`) before the
+    exception propagates.
+    """
+
+    def __init__(
+        self,
+        *,
+        node: object = None,
+        edge: Optional[Tuple[int, int]] = None,
+        round_index: Optional[int] = None,
+        bits: Optional[int] = None,
+        capacity: Optional[int] = None,
+        policy: Optional[BandwidthPolicy] = None,
+    ) -> None:
+        label = policy.describe() if policy is not None else "CONGEST"
+        super().__init__(
+            f"{label}: edge {edge} carried {bits} bits in round "
+            f"{round_index}, over the {capacity}-bit per-edge-per-round cap"
+        )
+        self.node = node
+        self.edge = edge
+        self.round_index = round_index
+        self.bits = bits
+        self.capacity = capacity
+        self.policy = policy
+        self.failure_report = None
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+
+
+def _geometric_buckets(peak: int) -> Tuple[float, ...]:
+    """Power-of-two bucket bounds covering ``0..peak`` (bits span decades)."""
+    bounds: List[float] = [0.0]
+    bound = 1
+    while bound < max(1, peak):
+        bounds.append(float(bound))
+        bound *= 2
+    bounds.append(float(bound))
+    return tuple(bounds)
+
+
+#: peak -> (bounds, "le_..." labels, numpy bounds) — label formatting and
+#: the searchsorted operand are pure functions of the peak bucket bound.
+_BUCKET_TABLES: Dict[int, Tuple[Tuple[float, ...], Tuple[str, ...], object]] = {}
+
+
+def _bucket_tables(np, peak: int):
+    entry = _BUCKET_TABLES.get(peak)
+    if entry is None:
+        if len(_BUCKET_TABLES) > 1024:  # unbounded peaks: drop, don't grow
+            _BUCKET_TABLES.clear()
+        bounds = _geometric_buckets(peak)
+        labels = tuple(f"le_{b:g}" for b in bounds)
+        entry = (bounds, labels, np.asarray(bounds))
+        _BUCKET_TABLES[peak] = entry
+    return entry
+
+
+def _histogram_of(values: Sequence[int]) -> Dict[str, object]:
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - numpy ships with the repo
+        np = None
+    if np is not None and len(values) > 8:
+        return _snapshot_np(np, values)
+    hist = Histogram(buckets=_geometric_buckets(max(values, default=0)))
+    for value in values:
+        hist.observe(value)
+    return hist.snapshot_value()
+
+
+def _snapshot_np(np, values: Sequence[int]) -> Dict[str, object]:
+    """Bulk-build the exact ``Histogram.snapshot_value()`` dict.
+
+    ``searchsorted(side="left")`` lands each value in the first bucket
+    with ``value <= bound``, exactly like ``Histogram.observe``; the
+    quantile scan over cumulative counts mirrors ``Histogram.quantile``
+    (bucket upper bound at rank ``ceil(q·count)``, clamped to min/max).
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    count = int(arr.size)
+    total = float(arr.sum())
+    mn = float(arr.min())
+    mx = float(arr.max())
+    bounds, labels, bounds_np = _bucket_tables(np, int(mx))
+    idx = np.searchsorted(bounds_np, arr, side="left")
+    cum = np.cumsum(np.bincount(idx, minlength=len(bounds) + 1)).tolist()
+    buckets = dict(zip(labels, cum))
+    buckets["le_inf"] = cum[-1]
+    scan = cum[: len(bounds)]
+
+    def quant(q: float) -> float:
+        target = max(1, math.ceil(q * count))
+        pos = bisect_left(scan, target)
+        estimate = bounds[pos] if pos < len(bounds) else mx
+        return min(max(estimate, mn), mx)
+
+    return {
+        "count": count,
+        "sum": round(total, 9),
+        "min": mn,
+        "max": mx,
+        "mean": round(total / count, 9),
+        "p50": quant(0.50),
+        "p95": quant(0.95),
+        "buckets": buckets,
+    }
+
+
+@dataclass
+class BandwidthProfile:
+    """Aggregate bits-on-wire record of one run under one policy.
+
+    ``per_round`` / ``per_edge`` are histogram snapshots (count, sum,
+    p50/p95, min/max over per-round totals and per-edge run totals);
+    ``hotspots`` ranks the heaviest edges; ``peak_edge_round_bits`` is
+    the single worst ``(edge, round)`` load, and ``min_congest_budget``
+    the smallest integer ``B`` for which ``CONGEST(B)`` would have fit
+    the whole run.  Internal consistency is exact by construction:
+    ``sum(per-round totals) == sum(per-edge totals) == total_bits``.
+    """
+
+    policy: str
+    budget: Optional[int]
+    capacity_bits: Optional[int]
+    total_bits: int
+    rounds: int
+    edges_used: int
+    id_bits: int
+    per_round: Dict[str, object]
+    per_edge: Dict[str, object]
+    peak_round: Tuple[int, int]
+    peak_edge_round_bits: int
+    min_congest_budget: int
+    hotspots: List[Dict[str, object]]
+
+    @classmethod
+    def build(
+        cls,
+        policy: BandwidthPolicy,
+        n: int,
+        round_totals: Sequence[int],
+        edge_totals: Mapping[Tuple[int, int], int],
+        peak_edge_round_bits: int,
+    ) -> "BandwidthProfile":
+        total = sum(round_totals)
+        edge_sum = sum(edge_totals.values())
+        if total != edge_sum:  # pragma: no cover - construction invariant
+            raise AssertionError(
+                f"bandwidth books don't balance: per-round sum {total} != "
+                f"per-edge sum {edge_sum}"
+            )
+        bits = id_bits(n)
+        peak_round = (0, 0)
+        if round_totals:
+            worst = max(range(len(round_totals)), key=round_totals.__getitem__)
+            peak_round = (worst + 1, round_totals[worst])
+        ranked = sorted(
+            edge_totals.items(), key=lambda item: (-item[1], item[0])
+        )
+        return cls(
+            policy=policy.name,
+            budget=policy.budget,
+            capacity_bits=policy.capacity(n),
+            total_bits=total,
+            rounds=len(round_totals),
+            edges_used=sum(1 for v in edge_totals.values() if v),
+            id_bits=bits,
+            per_round=_histogram_of(list(round_totals)),
+            per_edge=_histogram_of(list(edge_totals.values())),
+            peak_round=peak_round,
+            peak_edge_round_bits=peak_edge_round_bits,
+            min_congest_budget=max(
+                1, math.ceil(peak_edge_round_bits / bits)
+            ) if peak_edge_round_bits else 1,
+            hotspots=[
+                {"edge": list(edge), "bits": total_bits}
+                for edge, total_bits in ranked[:5]
+            ],
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "policy": self.policy,
+            "budget": self.budget,
+            "capacity_bits": self.capacity_bits,
+            "total_bits": self.total_bits,
+            "rounds": self.rounds,
+            "edges_used": self.edges_used,
+            "id_bits": self.id_bits,
+            "per_round": self.per_round,
+            "per_edge": self.per_edge,
+            "peak_round": list(self.peak_round),
+            "peak_edge_round_bits": self.peak_edge_round_bits,
+            "min_congest_budget": self.min_congest_budget,
+            "hotspots": self.hotspots,
+        }
+
+
+# ---------------------------------------------------------------------------
+# The meter (message-passing engine)
+# ---------------------------------------------------------------------------
+
+
+class BandwidthMeter:
+    """Charges message bits to ``(edge, round)`` under one policy.
+
+    Fault-interaction semantics (pinned by the fault tests): a *dropped*
+    message is still charged at its send round — the sender put it on
+    the wire; a *duplicated* message is charged twice (send round and
+    the copy's delivery round); a *delayed* message is charged in its
+    delivery round.  The engine encodes all three by calling
+    :meth:`charge` once per delivery offset (and once at the send round
+    for an empty fate).
+    """
+
+    __slots__ = (
+        "policy",
+        "n",
+        "capacity",
+        "total_bits",
+        "_round_bits",
+        "_edge_bits",
+        "_edge_round_bits",
+    )
+
+    def __init__(self, policy: BandwidthPolicy, n: int) -> None:
+        self.policy = policy
+        self.n = n
+        self.capacity = policy.capacity(n)
+        self.total_bits = 0
+        self._round_bits: Dict[int, int] = {}
+        self._edge_bits: Dict[Tuple[int, int], int] = {}
+        self._edge_round_bits: Dict[Tuple[Tuple[int, int], int], int] = {}
+
+    def charge(
+        self,
+        round_index: int,
+        sender_id: int,
+        receiver_id: int,
+        bits: int,
+        node: object = None,
+    ) -> None:
+        """Account ``bits`` on the (undirected) edge in ``round_index``."""
+        edge = (
+            (sender_id, receiver_id)
+            if sender_id <= receiver_id
+            else (receiver_id, sender_id)
+        )
+        key = (edge, round_index)
+        load = self._edge_round_bits.get(key, 0) + bits
+        self._edge_round_bits[key] = load
+        self.total_bits += bits
+        self._round_bits[round_index] = (
+            self._round_bits.get(round_index, 0) + bits
+        )
+        self._edge_bits[edge] = self._edge_bits.get(edge, 0) + bits
+        if self.capacity is not None and load > self.capacity:
+            raise BandwidthExceeded(
+                node=node,
+                edge=edge,
+                round_index=round_index,
+                bits=load,
+                capacity=self.capacity,
+                policy=self.policy,
+            )
+
+    def profile(self, rounds: Optional[int] = None) -> BandwidthProfile:
+        """Fold the charges into a :class:`BandwidthProfile`.
+
+        ``rounds`` pads the per-round series to the run's executed round
+        count; late deliveries past it extend the series further.
+        """
+        highest = max(self._round_bits, default=-1) + 1
+        span = max(int(rounds or 0), highest)
+        round_totals = [self._round_bits.get(t, 0) for t in range(span)]
+        return BandwidthProfile.build(
+            self.policy,
+            self.n,
+            round_totals,
+            self._edge_bits,
+            max(self._edge_round_bits.values(), default=0),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Flooding-equivalent accounting for view-semantics runs
+# ---------------------------------------------------------------------------
+
+#: Above this node count the dense (n × n) frontier matrices of the numpy
+#: fast path stop paying for themselves; fall back to the per-root BFS.
+_NP_DENSE_LIMIT = 2048
+
+#: Cap on the cached frontier-mask bytes (worst case ``n² · depth``);
+#: deeper/larger instances fall back to the per-root scalar BFS.
+_NP_DENSE_BYTES = 1 << 28
+
+
+def _flood_state(compiled):
+    """The compiled graph's lazily built flooding-BFS frontier cache.
+
+    Everything here is a pure function of the graph *structure* (no
+    advice, no inputs, no policy), so it is computed once per compiled
+    graph and reused across runs: the dense float32 adjacency, the CSR
+    edge list in deterministic ``i < j`` order, and the per-depth
+    frontier masks ``masks[d][i, w] = (dist(i, w) == d)``, grown on
+    demand by :func:`_frontier_masks`.
+    """
+    state = compiled._np_flood
+    if state is None:
+        import numpy as np
+
+        n = compiled.n
+        indptr, indices, _ = compiled.np_csr()
+        rows = np.repeat(np.arange(n), np.diff(indptr))
+        adj = np.zeros((n, n), dtype=np.float32)
+        adj[rows, indices] = 1.0
+        eye = np.eye(n, dtype=bool)
+        upper = rows < indices
+        state = {
+            "adj": adj,
+            "tails": rows[upper],
+            "heads": indices[upper],
+            "masks": [eye],
+            "visited": eye.copy(),
+            "frontier": eye,
+            "exhausted": n <= 1,
+        }
+        compiled._np_flood = state
+    return state
+
+
+def _frontier_masks(compiled, max_depth: int):
+    """Frontier masks for depths ``0..max_depth`` (level-synchronous BFS).
+
+    Each extension step expands every root's frontier at once with one
+    dense boolean matmul; sweeps stop for good when all frontiers empty,
+    so ``T ≫ diameter`` still costs diameter work (once, ever — the
+    masks are cached on the compiled graph).
+    """
+    import numpy as np
+
+    state = _flood_state(compiled)
+    masks = state["masks"]
+    while len(masks) <= max_depth and not state["exhausted"]:
+        nxt = (state["frontier"].astype(np.float32) @ state["adj"]) > 0
+        nxt &= ~state["visited"]
+        if not nxt.any():
+            state["exhausted"] = True
+            break
+        state["visited"] |= nxt
+        masks.append(nxt)
+        state["frontier"] = nxt
+    return masks[: max_depth + 1]
+
+
+def _flooding_np(graph, compiled, policy, rounds: int, advice):
+    """The numpy realization of :func:`flooding_bandwidth`, or ``None``.
+
+    Returns ``None`` when numpy is unavailable or the dense frontier
+    matrices would outgrow :data:`_NP_DENSE_BYTES` — the caller then
+    falls back to the per-root scalar BFS.  Per-call work is only the
+    advice-length vector and one matvec against the cached float64 mask
+    matrix: the masks, the structural record bits (``id_bits·(1+deg)``
+    plus input payloads), and the edge list are all advice-free and
+    cached on the compiled graph by :func:`_flood_state`.
+    """
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - numpy ships with the repo
+        return None
+    n = compiled.n
+    max_depth = min(rounds - 1, n)
+    if n > _NP_DENSE_LIMIT or n * n * (max_depth + 1) > _NP_DENSE_BYTES:
+        return None
+    state = _flood_state(compiled)
+    base = state.get("base_rec")
+    if base is None:
+        bits = id_bits(n)
+        base = np.asarray(
+            [
+                bits * (1 + compiled.degrees[i])
+                + (
+                    0
+                    if (payload := graph.input_of(node)) is None
+                    else measure_bits(payload)
+                )
+                for i, node in enumerate(compiled.nodes)
+            ],
+            dtype=np.float64,
+        )
+        state["base_rec"] = base
+    if advice:
+        get = advice.get
+        rec = base + np.asarray(
+            [len(get(v, "")) for v in compiled.nodes], dtype=np.float64
+        )
+    else:
+        rec = base
+    masks = _frontier_masks(compiled, max_depth)
+    depth = len(masks)
+    stacked = state.get("stacked64")
+    if stacked is None or stacked.shape[0] < depth * n:
+        stacked = np.stack(masks).reshape(depth * n, n).astype(np.float64)
+        state["stacked64"] = stacked
+    matrix = np.ascontiguousarray(
+        (stacked[: depth * n] @ rec).reshape(depth, n).T
+    )
+    return _aggregate_np(compiled, policy, rounds, matrix)
+
+
+def _layer_record_bits(
+    compiled, rounds: int, record_bits: Sequence[int]
+) -> List[List[int]]:
+    """Per-root, per-depth record-bit sums: ``out[i][d] = Σ_{dist(i,w)=d} rec[w]``.
+
+    One BFS per root over the CSR arrays, depth-capped at ``rounds - 1``
+    (rounds beyond a root's eccentricity contribute nothing and stop the
+    sweep early, so a decoder with ``T ≫ diameter`` costs diameter work).
+    """
+    n = compiled.n
+    indptr, indices = compiled.indptr, compiled.indices
+    max_depth = min(rounds - 1, n)
+    out: List[List[int]] = []
+    seen = [-1] * n
+    for root in range(n):
+        layers = [record_bits[root]]
+        seen[root] = root
+        frontier = [root]
+        depth = 0
+        while frontier and depth < max_depth:
+            depth += 1
+            next_frontier: List[int] = []
+            layer_sum = 0
+            for i in frontier:
+                for j in indices[indptr[i]:indptr[i + 1]]:
+                    if seen[j] != root:
+                        seen[j] = root
+                        layer_sum += record_bits[j]
+                        next_frontier.append(j)
+            if not next_frontier:
+                break
+            layers.append(layer_sum)
+            frontier = next_frontier
+        out.append(layers)
+    return out
+
+
+def _aggregate_np(compiled, policy, rounds: int, matrix) -> "BandwidthProfile":
+    """Fold a numpy layer matrix into per-round/per-edge totals.
+
+    Mirrors the scalar aggregation in :func:`flooding_bandwidth` exactly,
+    including the overflow tie-break (earliest round, then lowest edge in
+    CSR ``i < j`` order) and the sender attribution (heavier endpoint,
+    lower dense index on ties).
+    """
+    import numpy as np
+
+    n = compiled.n
+    depth = matrix.shape[1]
+    state = _flood_state(compiled)
+    deg64 = state.get("deg64")
+    if deg64 is None:
+        deg64 = np.asarray(compiled.degrees, dtype=np.float64)
+        state["deg64"] = deg64
+    per_depth = deg64 @ matrix
+    round_totals = per_depth[: min(depth, rounds)].astype(np.int64).tolist()
+    if len(round_totals) < rounds:
+        round_totals.extend([0] * (rounds - len(round_totals)))
+
+    tails, heads = state["tails"], state["heads"]
+    loads = matrix[tails] + matrix[heads]
+    peak_edge_round = int(loads.max()) if loads.size else 0
+
+    capacity = policy.capacity(n)
+    if capacity is not None and peak_edge_round > capacity:
+        _, _, ids_np = compiled.np_csr()
+        over = loads > capacity
+        d = int(np.argmax(over.any(axis=0)))
+        e = int(np.argmax(over[:, d]))
+        i, j = int(tails[e]), int(heads[e])
+        sender = i if matrix[i, d] >= matrix[j, d] else j
+        a, b = int(ids_np[i]), int(ids_np[j])
+        edge = (a, b) if a <= b else (b, a)
+        raise BandwidthExceeded(
+            node=compiled.nodes[sender],
+            edge=edge,
+            round_index=d + 1,
+            bits=int(loads[e, d]),
+            capacity=capacity,
+            policy=policy,
+        )
+
+    edge_keys = state.get("edge_keys")
+    if edge_keys is None:
+        _, _, ids_np = compiled.np_csr()
+        edge_keys = [
+            (a, b) if a <= b else (b, a)
+            for a, b in zip(ids_np[tails].tolist(), ids_np[heads].tolist())
+        ]
+        state["edge_keys"] = edge_keys
+    # A row of `loads` already holds one edge's per-round bits, so its
+    # row sum IS the ball(u)+ball(v) per-edge total; tolist() up front
+    # keeps the dict on plain ints (no numpy scalar boxing per edge).
+    edge_bits = loads.sum(axis=1).astype(np.int64)
+    edge_totals = dict(zip(edge_keys, edge_bits.tolist()))
+    return BandwidthProfile.build(
+        policy, n, round_totals, edge_totals, peak_edge_round
+    )
+
+
+def flooding_bandwidth(
+    graph,
+    rounds: int,
+    advice: Optional[Mapping[object, str]] = None,
+    policy: Optional[BandwidthPolicy] = None,
+) -> Optional[BandwidthProfile]:
+    """Bits-on-wire of the canonical flooding realization of a ``T``-round run.
+
+    A ``T``-round LOCAL algorithm is executed canonically by incremental
+    flooding (the message-passing realization
+    :class:`repro.local.GatherAlgorithm` proves equivalent to view
+    gathering): in round ``t`` node ``u`` forwards on every port the
+    records it learned in round ``t-1`` — the nodes at distance exactly
+    ``t-1`` from ``u``.  The resulting accounting is a pure function of
+    ``(graph, rounds, advice)``, so every execution engine reports the
+    same bits-on-wire for the same run.
+
+    Under a ``congest`` policy the per-``(edge, round)`` loads are
+    checked against ``B·⌈log n⌉`` and the earliest overflow (lowest
+    round, then lowest edge in CSR order) raises an attributed
+    :class:`BandwidthExceeded` — deterministically, since nothing here
+    depends on engine or iteration order.  Returns ``None`` under
+    :data:`OFF`, and an all-zero profile for ``rounds == 0``.
+    """
+    policy = policy if policy is not None else current_bandwidth_policy()
+    if not policy.records:
+        return None
+    compiled = graph.compiled
+    n = compiled.n
+    bits = id_bits(n)
+    rounds = max(0, int(rounds))
+    if n == 0 or rounds == 0:
+        return BandwidthProfile.build(policy, n, [0] * rounds, {}, 0)
+
+    profile = _flooding_np(graph, compiled, policy, rounds, advice)
+    if profile is not None:
+        return profile
+
+    record_bits = []
+    for i, node in enumerate(compiled.nodes):
+        adv = advice.get(node, "") if advice else ""
+        payload = graph.input_of(node)
+        record_bits.append(
+            bits * (1 + compiled.degrees[i])
+            + len(adv)
+            + (0 if payload is None else measure_bits(payload))
+        )
+
+    layers = _layer_record_bits(compiled, rounds, record_bits)
+    ball_bits = [sum(per_root) for per_root in layers]
+    depth = max(len(per_root) for per_root in layers)
+
+    # Per-round totals: in round t every node pushes its (t-1)-layer on
+    # each incident edge, so round t carries Σ_u deg(u)·layer_u[t-1].
+    round_totals = [0] * rounds
+    degrees = compiled.degrees
+    for i, per_root in enumerate(layers):
+        deg = degrees[i]
+        for d, layer_sum in enumerate(per_root):
+            round_totals[d] += deg * layer_sum
+
+    # Per-edge run totals and the worst (edge, round) load.  Iterating
+    # CSR rows with i < j enumerates each undirected edge once, in a
+    # deterministic order shared by the overflow attribution below.
+    indptr, indices = compiled.indptr, compiled.indices
+    ids = compiled.ids
+    nodes = compiled.nodes
+    capacity = policy.capacity(n)
+    edge_totals: Dict[Tuple[int, int], int] = {}
+    peak_edge_round = 0
+    overflow: Optional[Tuple[int, int, int, int, int]] = None
+    for i in range(n):
+        layers_i = layers[i]
+        for j in indices[indptr[i]:indptr[i + 1]]:
+            if j <= i:
+                continue
+            layers_j = layers[j]
+            a, b = ids[i], ids[j]
+            edge = (a, b) if a <= b else (b, a)
+            edge_totals[edge] = ball_bits[i] + ball_bits[j]
+            for d in range(min(depth, rounds)):
+                load = (
+                    (layers_i[d] if d < len(layers_i) else 0)
+                    + (layers_j[d] if d < len(layers_j) else 0)
+                )
+                if load > peak_edge_round:
+                    peak_edge_round = load
+                if (
+                    capacity is not None
+                    and load > capacity
+                    and (overflow is None or d + 1 < overflow[0])
+                ):
+                    sender = i if (
+                        (layers_i[d] if d < len(layers_i) else 0)
+                        >= (layers_j[d] if d < len(layers_j) else 0)
+                    ) else j
+                    overflow = (d + 1, edge[0], edge[1], load, sender)
+    if overflow is not None:
+        round_index, a, b, load, sender = overflow
+        raise BandwidthExceeded(
+            node=nodes[sender],
+            edge=(a, b),
+            round_index=round_index,
+            bits=load,
+            capacity=capacity,
+            policy=policy,
+        )
+    return BandwidthProfile.build(
+        policy, n, round_totals, edge_totals, peak_edge_round
+    )

@@ -40,6 +40,7 @@ DETERMINISTIC_TOLERANCES: Dict[str, float] = {
     "view_cache_hits": 0.0,
     "view_cache_misses": 0.0,
     "messages_delivered": 0.0,
+    "bits_on_wire": 0.0,
     "view_cache_hit_rate": 0.01,
 }
 

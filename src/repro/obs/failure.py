@@ -48,8 +48,10 @@ class FailureReport:
     """Attribution record for one failing node (or one decoder error).
 
     ``kind`` is ``"violation"`` (the verifier rejected the node's
-    neighborhood) or ``"decode-error"`` (the decoder raised before
-    producing a labeling).
+    neighborhood), ``"decode-error"`` (the decoder raised before
+    producing a labeling), ``"order-invariance"`` (the §8 contract
+    fuzzer caught an id-dependent label), or ``"bandwidth-exceeded"``
+    (a CONGEST edge overflowed its per-round bit budget).
     """
 
     schema_name: str
@@ -195,3 +197,33 @@ def build_error_report(
         trace_events=ring.touching_node(node) if (ring is not None and node is not None) else [],
         error=f"{type(error).__name__}: {error}",
     )
+
+
+def build_bandwidth_report(
+    schema_name: str,
+    graph: LocalGraph,
+    advice: Mapping[Node, str],
+    error: BaseException,
+    rounds_hint: int = 1,
+    ring: Optional[RingSink] = None,
+) -> FailureReport:
+    """Attribution for a CONGEST budget overflow.
+
+    ``error`` is a :class:`repro.obs.bandwidth.BandwidthExceeded`; the
+    report localizes to its sending endpoint and records the overflowing
+    ``(edge, round, bits, capacity)`` in the error line, so a too-small
+    budget reads exactly like any other attributed failure.
+    """
+    report = build_error_report(
+        schema_name, graph, advice, error, rounds_hint=rounds_hint, ring=ring
+    )
+    report.kind = "bandwidth-exceeded"
+    edge = getattr(error, "edge", None)
+    round_index = getattr(error, "round_index", None)
+    bits = getattr(error, "bits", None)
+    capacity = getattr(error, "capacity", None)
+    report.error = (
+        f"{type(error).__name__}: edge {edge} carried {bits} bits in round "
+        f"{round_index} (capacity {capacity})"
+    )
+    return report

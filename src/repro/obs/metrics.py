@@ -25,8 +25,10 @@ name                              type        meaning (paper quantity)
 ``bfs_node_visits``               counter     engine: Σ_v |B(v,T)| work
 ``decide_calls``                  counter     engine: distinct decisions
 ``view_cache_hit_rate``           gauge       engine: memoization hit rate
+``bits_on_wire``                  counter     bandwidth: total message bits
 ``violations_total``              counter     nodes failing the local check
 ``decode_errors_total``           counter     typed decoder failures
+``bandwidth_exceeded_total``      counter     CONGEST budget overflows
 ================================  ==========  =================================
 """
 
@@ -211,7 +213,8 @@ class MetricsRegistry:
     def merge_stats(self, stats_dict: Dict[str, object], **labels: object) -> None:
         """Fold a ``SimStats.as_dict()`` into engine-level metrics."""
         for key in ("views_gathered", "bfs_node_visits", "decide_calls",
-                    "view_cache_hits", "view_cache_misses", "messages_delivered"):
+                    "view_cache_hits", "view_cache_misses",
+                    "messages_delivered", "bits_on_wire"):
             value = stats_dict.get(key)
             if value:
                 self.counter(key, **labels).inc(value)

@@ -50,6 +50,7 @@ HISTORY_METRICS: Sequence[str] = (
     "view_cache_hits",
     "view_cache_misses",
     "messages_delivered",
+    "bits_on_wire",
 )
 
 
@@ -238,7 +239,9 @@ def check_history_drift(
 
     Returns human-readable problem strings (empty = within tolerance).
     A schema disappearing from the snapshot is drift; a new schema is not
-    (growing the registry must not fail CI).
+    (growing the registry must not fail CI).  Likewise a metric present
+    only in the fresh snapshot is new instrumentation, not drift — but a
+    metric that *disappears* from a schema's row is.
     """
     tolerances = tolerances if tolerances is not None else {
         m: DETERMINISTIC_TOLERANCES.get(m, 0.0) for m in HISTORY_METRICS
@@ -255,7 +258,9 @@ def check_history_drift(
             problems.append(f"schema {name!r}: was valid, now invalid")
         deltas = diff_telemetry(base_row, fresh_row, tolerances=tolerances)
         problems.extend(
-            f"schema {name!r}: {d.describe()}" for d in deltas if d.significant
+            f"schema {name!r}: {d.describe()}"
+            for d in deltas
+            if d.significant and d.base is not None
         )
     return problems
 
@@ -300,6 +305,7 @@ _SUMMARY_COLUMNS = (
     ("bfs visits", "bfs_node_visits"),
     ("decides", "decide_calls"),
     ("cache hit", "cache_hit_rate"),
+    ("bits-on-wire", "bits_on_wire"),
 )
 
 
@@ -334,6 +340,40 @@ def _advice_quantiles(record: Mapping[str, object]) -> str:
     )
 
 
+_BANDWIDTH_HEADERS = (
+    "schema", "policy", "total bits", "round p50", "round p95",
+    "peak edge·round", "min CONGEST B", "hotspot edge",
+)
+
+
+def _bandwidth_rows(report: Mapping[str, object]) -> List[List[str]]:
+    """One row per schema from its telemetry's ``bandwidth`` profile."""
+    rows = []
+    for record in report.get("schemas", []):
+        telemetry = record.get("telemetry") or {}
+        bw = telemetry.get("bandwidth")
+        if not isinstance(bw, dict):
+            continue
+        per_round = bw.get("per_round") or {}
+        hotspots = bw.get("hotspots") or []
+        hot = hotspots[0] if hotspots else {}
+        hot_cell = (
+            f"{tuple(hot.get('edge', ()))} ({hot.get('bits')} bits)"
+            if hot else "-"
+        )
+        rows.append([
+            str(record.get("schema")),
+            str(bw.get("policy")),
+            f"{bw.get('total_bits', 0):g}",
+            f"{per_round.get('p50', 0):g}",
+            f"{per_round.get('p95', 0):g}",
+            f"{bw.get('peak_edge_round_bits', 0):g}",
+            f"{bw.get('min_congest_budget', 0):g}",
+            hot_cell,
+        ])
+    return rows
+
+
 def render_markdown(report: Mapping[str, object]) -> str:
     """The dashboard as a self-contained markdown document."""
     prov = report.get("provenance", {})
@@ -349,6 +389,20 @@ def render_markdown(report: Mapping[str, object]) -> str:
     lines.append("|" + "---|" * len(headers))
     for row in _summary_rows(report):
         lines.append("| " + " | ".join(row) + " |")
+
+    bandwidth_rows = _bandwidth_rows(report)
+    if bandwidth_rows:
+        lines += ["", "## Bandwidth (bits-on-wire)", ""]
+        lines.append(
+            "Flooding-equivalent accounting of each decoder's T rounds "
+            "under the ambient policy; `min CONGEST B` is the smallest "
+            "budget for which `CONGEST(B)` fits the run."
+        )
+        lines.append("")
+        lines.append("| " + " | ".join(_BANDWIDTH_HEADERS) + " |")
+        lines.append("|" + "---|" * len(_BANDWIDTH_HEADERS))
+        for row in bandwidth_rows:
+            lines.append("| " + " | ".join(row) + " |")
 
     lines += ["", "## Work attribution (per-span profile)", ""]
     for record in report.get("schemas", []):
@@ -367,7 +421,8 @@ def render_markdown(report: Mapping[str, object]) -> str:
             f"bfs visits {totals.get('bfs_node_visits', 0):g}, "
             f"views {totals.get('views_gathered', 0):g}, "
             f"decides {totals.get('decide_calls', 0):g}, "
-            f"messages {totals.get('messages_delivered', 0):g}"
+            f"messages {totals.get('messages_delivered', 0):g}, "
+            f"bits on wire {totals.get('bits_on_wire', 0):g}"
         )
         lines.append(
             "- critical path: "

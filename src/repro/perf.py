@@ -41,6 +41,12 @@ class SimStats:
         classes, not ``n``.
     messages_delivered:
         Messages routed by :func:`repro.local.run_message_passing`.
+    bits_on_wire:
+        Total message bits accounted by the run's bandwidth policy
+        (:mod:`repro.obs.bandwidth`): the meter inside
+        ``run_message_passing``, or the flooding-equivalent accounting a
+        schema run attaches for view-semantics decodes.  Zero when the
+        policy is ``off`` or nothing was metered.
     phase_seconds:
         Wall time per named phase (``gather``, ``decide``, ``deliver``...).
     """
@@ -51,6 +57,7 @@ class SimStats:
     bfs_node_visits: int = 0
     decide_calls: int = 0
     messages_delivered: int = 0
+    bits_on_wire: int = 0
     #: which execution engine produced the run (``"scalar"``,
     #: ``"vectorized"``, ``"parallel"``; empty for message passing and
     #: legacy call sites) and, for the parallel engine, its worker count.
@@ -58,6 +65,9 @@ class SimStats:
     #: the engine dispatch keep their exact telemetry shape.
     engine: str = ""
     pool_size: int = 0
+    #: the run's :class:`repro.obs.bandwidth.BandwidthProfile` (None when
+    #: nothing was metered); excluded from equality like the phase stack.
+    bandwidth: object = field(default=None, repr=False, compare=False)
     phase_seconds: Dict[str, float] = field(default_factory=dict)
     #: exclusive (self) time per phase: cumulative time minus time spent in
     #: phases nested inside it.  ``total_seconds`` sums these, so nesting a
@@ -126,6 +136,9 @@ class SimStats:
         self.bfs_node_visits += other.bfs_node_visits
         self.decide_calls += other.decide_calls
         self.messages_delivered += other.messages_delivered
+        self.bits_on_wire += other.bits_on_wire
+        if self.bandwidth is None:
+            self.bandwidth = other.bandwidth
         if not self.engine:
             self.engine = other.engine
         self.pool_size = max(self.pool_size, other.pool_size)
@@ -153,6 +166,7 @@ class SimStats:
             "bfs_node_visits": self.bfs_node_visits,
             "decide_calls": self.decide_calls,
             "messages_delivered": self.messages_delivered,
+            "bits_on_wire": self.bits_on_wire,
             "phase_seconds": {k: round(v, 6) for k, v in self.phase_seconds.items()},
             "phase_self_seconds": {
                 k: round(v, 6) for k, v in self.phase_self_seconds.items()

@@ -47,6 +47,60 @@ class TestCLI:
             assert key in telemetry
 
 
+class TestBandwidthCLI:
+    def test_table_output(self, capsys):
+        code = main(["bandwidth", "2-coloring", "--n", "60"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "== bandwidth: 2-coloring" in out
+        assert "policy=LOCAL" in out
+        assert "total bits on wire" in out
+        assert "min CONGEST budget" in out
+        assert "hotspot edges:" in out
+
+    def test_json_output_reconciles(self, capsys):
+        code = main(["bandwidth", "2-coloring", "--n", "60", "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        profile = json.loads(out)
+        assert profile["policy"] == "local"
+        assert profile["total_bits"] > 0
+        assert profile["per_round"]["sum"] == profile["total_bits"]
+        assert profile["per_edge"]["sum"] == profile["total_bits"]
+
+    def test_congest_overflow_exits_nonzero_with_attribution(self, capsys):
+        code = main(
+            ["bandwidth", "2-coloring", "--n", "60",
+             "--policy", "congest", "--budget", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "BANDWIDTH EXCEEDED under CONGEST(B=1)" in out
+        assert "bandwidth-exceeded" in out  # failure report summary line
+
+    def test_sufficient_congest_budget_succeeds(self, capsys):
+        code = main(
+            ["bandwidth", "2-coloring", "--n", "60",
+             "--policy", "congest", "--budget", "64", "--json"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        profile = json.loads(out)
+        assert profile["policy"] == "congest"
+        assert profile["capacity_bits"] == 64 * profile["id_bits"]
+
+    def test_engine_passthrough_is_bit_invariant(self, capsys):
+        totals = []
+        for engine in ("scalar", "vectorized"):
+            code = main(
+                ["bandwidth", "2-coloring", "--n", "60",
+                 "--engine", engine, "--json"]
+            )
+            assert code == 0
+            totals.append(json.loads(capsys.readouterr().out)["total_bits"])
+        assert totals[0] == totals[1]
+
+
 class TestTraceCLI:
     def test_trace_writes_jsonl_and_summary(self, tmp_path, capsys):
         out = str(tmp_path / "trace.jsonl")
@@ -71,3 +125,21 @@ class TestTraceCLI:
         capsys.readouterr()
         assert code == 0
         assert (tmp_path / "trace-2-coloring.jsonl").exists()
+
+    def test_trace_engine_passthrough(self, tmp_path, capsys):
+        out = str(tmp_path / "trace.jsonl")
+        code = main(
+            ["trace", "2-coloring", "--n", "40",
+             "--engine", "vectorized", "--out", out]
+        )
+        stdout = capsys.readouterr().out
+        assert code == 0
+        assert "bits_on_wire" in stdout
+
+    def test_profile_engine_passthrough(self, capsys):
+        code = main(
+            ["profile", "2-coloring", "--n", "40", "--engine", "scalar"]
+        )
+        stdout = capsys.readouterr().out
+        assert code == 0
+        assert "schema_run" in stdout

@@ -1,0 +1,166 @@
+"""Pin how the bandwidth meter interacts with message faults.
+
+The semantics under test (also stated in the ``BandwidthMeter``
+docstring): a *dropped* message is still charged at its send round — the
+sender put it on the wire; a *duplicated* message is charged twice (send
+round plus the copy's delivery round); a *delayed* message is charged in
+the round the wire actually carries it.  A message still pending when
+the run ends is never charged.
+"""
+
+import networkx as nx
+
+from repro.faults import FaultInjector, FaultPlan
+from repro.graphs import cycle
+from repro.local import LocalGraph
+from repro.local.model import MessagePassingAlgorithm, run_message_passing
+
+PING_BITS = 32  # measure_bits("ping"): 8 bits per non-bit-string char
+ROUNDS = 4
+
+
+class _Pinger(MessagePassingAlgorithm):
+    """Send "ping" on every port each round; halt after ROUNDS rounds."""
+
+    def init(self, ctx):
+        super().init(ctx)
+        self.got = []
+
+    def send(self, round_index):
+        return {p: "ping" for p in range(self.ctx.degree)}
+
+    def receive(self, round_index, messages):
+        self.got.extend(messages.values())
+        if round_index >= ROUNDS - 1:
+            self.output = len(self.got)
+
+
+class _OneShot(_Pinger):
+    """Send "ping" once in round 0; keep collecting for ROUNDS rounds.
+
+    Used for the duplicate/delay cases: copies then arrive in rounds
+    where no fresh message contends for the same in-port.
+    """
+
+    def send(self, round_index):
+        if round_index == 0:
+            return super().send(round_index)
+        return {}
+
+
+class _ScriptedFaults:
+    """Duck-typed fault network replaying an exact fate per send round."""
+
+    crash_output = None
+
+    def __init__(self, fates):
+        # round -> fate tuple applied to every message sent that round;
+        # unlisted rounds deliver normally.
+        self._fates = fates
+
+    def crashes_at(self, round_index):
+        return ()
+
+    def fate(self, round_index, sender_id, port):
+        return self._fates.get(round_index, (0,))
+
+
+def _path2():
+    return LocalGraph(nx.path_graph(2), seed=0)
+
+
+def _run(graph, fates=None, algorithm=_Pinger, **kwargs):
+    faults = _ScriptedFaults(fates) if fates is not None else None
+    return run_message_passing(graph, algorithm, faults=faults, **kwargs)
+
+
+class TestScriptedFates:
+    """Exact bit totals on a 2-path: 2 msgs/round x 4 rounds x 32 bits."""
+
+    BASELINE_BITS = 2 * ROUNDS * PING_BITS  # 256
+
+    def test_faultless_baseline(self):
+        result = _run(_path2())
+        assert result.stats.bits_on_wire == self.BASELINE_BITS
+        assert all(out == ROUNDS for out in result.outputs.values())
+
+    def test_noop_fates_match_faultless(self):
+        plain = _run(_path2())
+        scripted = _run(_path2(), fates={})
+        assert scripted.stats.bits_on_wire == plain.stats.bits_on_wire
+        assert scripted.outputs == plain.outputs
+
+    def test_dropped_messages_still_charged_at_send_round(self):
+        result = _run(_path2(), fates={r: () for r in range(ROUNDS)})
+        # Nothing arrives, but every send hit the wire.
+        assert result.stats.bits_on_wire == self.BASELINE_BITS
+        assert all(out == 0 for out in result.outputs.values())
+
+    def test_duplicated_messages_charged_twice(self):
+        result = _run(_path2(), fates={0: (0, 1)}, algorithm=_OneShot)
+        # Round 0's two messages each get a delayed copy: each message is
+        # charged at its send round AND at the copy's delivery round.
+        assert result.stats.bits_on_wire == 2 * 2 * PING_BITS
+        assert all(out == 2 for out in result.outputs.values())
+
+    def test_delayed_messages_charged_at_delivery_round(self):
+        result = _run(_path2(), fates={0: (2,)}, algorithm=_OneShot)
+        # Same bits as a prompt delivery, shifted to round index 2.
+        assert result.stats.bits_on_wire == 2 * PING_BITS
+        profile = result.stats.bandwidth
+        assert profile.per_round["count"] == ROUNDS
+        assert profile.peak_round == (3, 2 * PING_BITS)  # 1-based round 3
+        assert all(out == 1 for out in result.outputs.values())
+
+    def test_pending_past_run_end_never_charged(self):
+        result = _run(_path2(), fates={ROUNDS - 1: (5,)})
+        # The final round's messages are still in flight when the run
+        # ends; they never touched a wire the run observed.
+        assert (
+            result.stats.bits_on_wire == self.BASELINE_BITS - 2 * PING_BITS
+        )
+
+
+class TestInjectedFaults:
+    """The seeded FaultInjector obeys the same accounting invariants."""
+
+    def _net(self, graph, **knobs):
+        return FaultInjector(FaultPlan(**knobs)).network(graph)
+
+    def test_drop_only_preserves_total_bits(self):
+        g = LocalGraph(cycle(8), seed=0)
+        plain = run_message_passing(g, _Pinger)
+        dropped = run_message_passing(
+            g,
+            _Pinger,
+            faults=self._net(g, seed=7, message_drop_rate=0.5),
+        )
+        assert dropped.stats.bits_on_wire == plain.stats.bits_on_wire
+        assert sum(dropped.outputs.values()) < sum(plain.outputs.values())
+
+    def test_duplicates_add_bits(self):
+        g = LocalGraph(cycle(8), seed=0)
+        plain = run_message_passing(g, _Pinger)
+        duplicated = run_message_passing(
+            g,
+            _Pinger,
+            faults=self._net(g, seed=7, message_duplicate_rate=1.0),
+        )
+        assert duplicated.stats.bits_on_wire > plain.stats.bits_on_wire
+
+    def test_seeded_faults_meter_deterministically(self):
+        g = LocalGraph(cycle(8), seed=0)
+        knobs = dict(
+            seed=11,
+            message_drop_rate=0.2,
+            message_duplicate_rate=0.2,
+            message_delay_rate=0.3,
+            max_delay=2,
+        )
+        profiles = []
+        for _ in range(2):
+            result = run_message_passing(
+                g, _Pinger, faults=self._net(g, **knobs)
+            )
+            profiles.append(result.stats.bandwidth.as_dict())
+        assert profiles[0] == profiles[1]

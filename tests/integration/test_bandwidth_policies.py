@@ -1,0 +1,79 @@
+"""Cross-policy equivalence: one engine, LOCAL vs CONGEST vs OFF.
+
+The LOCAL/CONGEST split must be pure observability: a sufficient CONGEST
+budget changes *nothing* about a run except that overflow would now be
+fatal, and a too-small budget fails deterministically with an attributed
+``BandwidthExceeded``.
+"""
+
+import pytest
+
+from repro.core.api import available_schemas, default_instance, make_schema
+from repro.obs.bandwidth import CONGEST, LOCAL, OFF, BandwidthExceeded, use_bandwidth_policy
+
+N = 48
+SEED = 0
+
+
+def _run(name, policy):
+    graph, kwargs = default_instance(name, n=N, seed=SEED)
+    schema = make_schema(name, **kwargs)
+    with use_bandwidth_policy(policy):
+        return schema.run(graph)
+
+
+@pytest.mark.parametrize("name", available_schemas())
+class TestPolicyEquivalence:
+    def test_local_run_reports_reconciled_bits(self, name):
+        run = _run(name, LOCAL)
+        assert run.valid
+        profile = run.bandwidth
+        assert profile is not None
+        assert profile.total_bits > 0
+        assert profile.per_round["sum"] == profile.total_bits
+        assert profile.per_edge["sum"] == profile.total_bits
+        assert run.telemetry["bits_on_wire"] == profile.total_bits
+        assert run.telemetry["bandwidth"]["total_bits"] == profile.total_bits
+
+    def test_sufficient_congest_budget_is_bit_identical(self, name):
+        local = _run(name, LOCAL)
+        budget = local.bandwidth.min_congest_budget
+        congest = _run(name, CONGEST(budget))
+        assert congest.valid
+        assert congest.result.labeling == local.result.labeling
+        assert congest.advice == local.advice
+        assert congest.bandwidth.total_bits == local.bandwidth.total_bits
+        assert congest.bandwidth.per_round == local.bandwidth.per_round
+        assert congest.bandwidth.per_edge == local.bandwidth.per_edge
+        assert congest.bandwidth.policy == "congest"
+        # The instance families round n, so derive capacity from the
+        # run's own id width rather than from N.
+        assert (
+            congest.bandwidth.capacity_bits
+            == budget * congest.bandwidth.id_bits
+        )
+
+    def test_too_small_budget_fails_deterministically(self, name):
+        local = _run(name, LOCAL)
+        budget = local.bandwidth.min_congest_budget - 1
+        if budget < 1:
+            pytest.skip("minimum budget is already 1")
+        overflows = []
+        for _ in range(2):
+            with pytest.raises(BandwidthExceeded) as info:
+                _run(name, CONGEST(budget))
+            exc = info.value
+            overflows.append((exc.edge, exc.round_index, exc.bits, exc.capacity))
+            assert exc.bits > exc.capacity
+            report = exc.failure_report
+            assert report is not None
+            assert report.kind == "bandwidth-exceeded"
+            assert f"edge {exc.edge}" in report.error
+        assert overflows[0] == overflows[1]
+
+    def test_off_policy_records_nothing(self, name):
+        run = _run(name, OFF)
+        assert run.valid
+        assert run.bandwidth is None
+        assert "bandwidth" not in run.telemetry
+        assert run.telemetry.get("bits_on_wire", 0) == 0

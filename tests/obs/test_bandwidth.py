@@ -1,0 +1,284 @@
+"""Bits-on-wire accounting: measure_bits, policies, meter, flooding."""
+
+import dataclasses
+
+import pytest
+
+from repro.graphs import cycle, grid
+from repro.local import LocalGraph
+from repro.obs.bandwidth import (
+    CONGEST,
+    LOCAL,
+    OFF,
+    BandwidthExceeded,
+    BandwidthMeter,
+    BandwidthPolicy,
+    BandwidthProfile,
+    current_bandwidth_policy,
+    flooding_bandwidth,
+    id_bits,
+    measure_bits,
+    parse_policy,
+    use_bandwidth_policy,
+)
+
+
+class TestMeasureBits:
+    def test_scalars(self):
+        assert measure_bits(None) == 1
+        assert measure_bits(True) == 1
+        assert measure_bits(False) == 1
+        assert measure_bits(0) == 2  # sign + one magnitude bit
+        assert measure_bits(1) == 2
+        assert measure_bits(-1) == 2
+        assert measure_bits(255) == 9
+        assert measure_bits(3.14) == 64
+
+    def test_bitstrings_cost_their_length(self):
+        assert measure_bits("") == 0
+        assert measure_bits("0") == 1
+        assert measure_bits("0101") == 4
+
+    def test_text_costs_a_byte_per_char(self):
+        assert measure_bits("ping") == 32
+        assert measure_bits(b"ping") == 32
+
+    def test_containers(self):
+        # 2 framing bits + (1 separator + item) per element.
+        assert measure_bits(()) == 2
+        assert measure_bits((1,)) == 2 + 1 + 2
+        assert measure_bits([1, 1]) == 2 + 2 * (1 + 2)
+        assert measure_bits({"01": 1}) == 2 + 1 + 2 + 2
+
+    def test_dataclass_sizer_is_cached_per_class(self):
+        @dataclasses.dataclass
+        class Msg:
+            round: int
+            label: str
+
+        first = measure_bits(Msg(3, "01"))
+        assert first == 2 + (1 + measure_bits(3)) + (1 + 2)
+        from repro.obs import bandwidth as bw
+
+        assert Msg in bw._SIZERS  # resolved once, cached by class
+        assert measure_bits(Msg(3, "01")) == first
+
+    def test_plain_object_measured_by_attributes(self):
+        class Obj:
+            def __init__(self):
+                self.x = 1
+
+        assert measure_bits(Obj()) == measure_bits({"x": 1})
+
+    def test_deterministic(self):
+        payload = ({"a": (1, 2)}, "0110", -7)
+        assert measure_bits(payload) == measure_bits(payload)
+
+
+class TestPolicy:
+    def test_capacity_is_budget_times_log_n(self):
+        assert id_bits(2) == 1
+        assert id_bits(60) == 6
+        assert id_bits(1024) == 10
+        assert CONGEST(1).capacity(60) == 6
+        assert CONGEST(4).capacity(60) == 24
+        assert LOCAL.capacity(60) is None
+        assert OFF.capacity(60) is None
+
+    def test_records_and_bounded(self):
+        assert LOCAL.records and not LOCAL.bounded
+        assert CONGEST(2).records and CONGEST(2).bounded
+        assert not OFF.records
+
+    def test_invalid_policies_rejected(self):
+        with pytest.raises(ValueError):
+            BandwidthPolicy("turbo")
+        with pytest.raises(ValueError):
+            BandwidthPolicy("congest")  # needs a budget
+        with pytest.raises(ValueError):
+            BandwidthPolicy("congest", 0)
+        with pytest.raises(ValueError):
+            BandwidthPolicy("local", 3)  # local takes no budget
+
+    def test_parse_policy(self):
+        assert parse_policy("local") == LOCAL
+        assert parse_policy("off") == OFF
+        assert parse_policy("congest", 4) == CONGEST(4)
+        assert parse_policy("CONGEST") == CONGEST(1)
+        with pytest.raises(ValueError):
+            parse_policy("turbo")
+
+    def test_describe(self):
+        assert LOCAL.describe() == "LOCAL"
+        assert CONGEST(3).describe() == "CONGEST(B=3)"
+
+    def test_ambient_policy_context(self):
+        assert current_bandwidth_policy() == LOCAL
+        with use_bandwidth_policy(CONGEST(2)):
+            assert current_bandwidth_policy() == CONGEST(2)
+            with use_bandwidth_policy(OFF):
+                assert current_bandwidth_policy() == OFF
+            assert current_bandwidth_policy() == CONGEST(2)
+        assert current_bandwidth_policy() == LOCAL
+
+    def test_ambient_policy_rejects_non_policy(self):
+        with pytest.raises(TypeError):
+            with use_bandwidth_policy("congest"):
+                pass
+
+
+class TestMeter:
+    def test_charges_accumulate_per_edge_and_round(self):
+        meter = BandwidthMeter(LOCAL, n=8)
+        meter.charge(0, 1, 2, 10)
+        meter.charge(0, 2, 1, 5)  # same undirected edge, other direction
+        meter.charge(1, 1, 2, 7)
+        meter.charge(0, 3, 4, 2)
+        assert meter.total_bits == 24
+        profile = meter.profile(rounds=2)
+        assert profile.total_bits == 24
+        assert profile.rounds == 2
+        assert profile.edges_used == 2
+        assert profile.peak_edge_round_bits == 15  # edge (1,2) in round 0
+        assert profile.hotspots[0] == {"edge": [1, 2], "bits": 22}
+
+    def test_local_records_over_capacity_without_raising(self):
+        meter = BandwidthMeter(LOCAL, n=8)
+        meter.charge(0, 1, 2, 10**9)
+        assert meter.total_bits == 10**9
+
+    def test_congest_overflow_is_attributed(self):
+        policy = CONGEST(2)
+        meter = BandwidthMeter(policy, n=8)  # capacity 2 * 3 = 6 bits
+        meter.charge(0, 1, 2, 6)
+        with pytest.raises(BandwidthExceeded) as info:
+            meter.charge(0, 2, 1, 1, node="v")
+        exc = info.value
+        assert exc.edge == (1, 2)
+        assert exc.round_index == 0
+        assert exc.bits == 7
+        assert exc.capacity == 6
+        assert exc.node == "v"
+        assert exc.policy == policy
+        assert "edge (1, 2)" in str(exc)
+
+    def test_congest_within_capacity_passes(self):
+        meter = BandwidthMeter(CONGEST(2), n=8)
+        for round_index in range(10):
+            meter.charge(round_index, 1, 2, 6)  # exactly at capacity
+        assert meter.total_bits == 60
+
+    def test_profile_books_balance(self):
+        meter = BandwidthMeter(LOCAL, n=16)
+        for r in range(3):
+            for (u, v) in ((1, 2), (2, 3), (5, 9)):
+                meter.charge(r, u, v, 4 * (r + 1))
+        profile = meter.profile(rounds=3)
+        assert profile.per_round["sum"] == profile.per_edge["sum"]
+        assert profile.per_round["sum"] == profile.total_bits
+        assert profile.per_round["count"] == 3
+        assert profile.per_edge["count"] == 3
+
+
+class TestProfile:
+    def test_build_rejects_unbalanced_books(self):
+        with pytest.raises(AssertionError):
+            BandwidthProfile.build(LOCAL, 8, [10], {(1, 2): 9}, 9)
+
+    def test_min_congest_budget(self):
+        profile = BandwidthProfile.build(LOCAL, 60, [14], {(1, 2): 14}, 14)
+        # peak 14 bits / 6 id bits -> budget 3 rounds it up.
+        assert profile.min_congest_budget == 3
+        empty = BandwidthProfile.build(LOCAL, 60, [], {}, 0)
+        assert empty.min_congest_budget == 1
+
+    def test_as_dict_round_trips_to_json(self):
+        import json
+
+        profile = BandwidthProfile.build(
+            CONGEST(4), 60, [6, 8], {(1, 2): 14}, 8
+        )
+        payload = json.loads(json.dumps(profile.as_dict()))
+        assert payload["policy"] == "congest"
+        assert payload["budget"] == 4
+        assert payload["capacity_bits"] == 24
+        assert payload["total_bits"] == 14
+        assert payload["peak_round"] == [2, 8]
+
+
+class TestFloodingBandwidth:
+    def test_two_node_path_by_hand(self):
+        g = LocalGraph(cycle(3), seed=0)
+        # n=3: id_bits = 2; every node has degree 2, no advice/input:
+        # record = 2 * (1 + 2) = 6 bits.  rounds=1 floods layer 0 only:
+        # each node pushes its own record on both edges.
+        profile = flooding_bandwidth(g, 1)
+        assert profile.total_bits == 6 * 2 * 3
+        assert profile.rounds == 1
+        assert profile.edges_used == 3
+        assert profile.per_round["sum"] == profile.per_edge["sum"]
+
+    def test_advice_and_input_bits_are_charged(self):
+        g = LocalGraph(cycle(3), seed=0)
+        base = flooding_bandwidth(g, 1)
+        v = g.nodes()[0]
+        withadv = flooding_bandwidth(g, 1, advice={v: "0101"})
+        # v's record grows by 4 bits and is flooded on deg(v)=2 edges.
+        assert withadv.total_bits == base.total_bits + 4 * 2
+
+    def test_rounds_beyond_eccentricity_carry_nothing(self):
+        g = LocalGraph(cycle(8), seed=0)
+        ecc = 4  # cycle(8) eccentricity
+        short = flooding_bandwidth(g, ecc + 1)
+        long = flooding_bandwidth(g, ecc + 50)
+        assert long.total_bits == short.total_bits
+        assert long.rounds == ecc + 50
+        # the per-round histogram has one zero entry per silent round
+        assert long.per_round["count"] == ecc + 50
+
+    def test_independent_of_ambient_engine(self):
+        from repro.local import use_engine
+
+        g = LocalGraph(grid(6, 6), seed=1)
+        profiles = []
+        for engine in ("scalar", "vectorized"):
+            with use_engine(engine):
+                profiles.append(flooding_bandwidth(g, 3).as_dict())
+        assert profiles[0] == profiles[1]
+
+    def test_off_policy_returns_none(self):
+        g = LocalGraph(cycle(4), seed=0)
+        assert flooding_bandwidth(g, 2, policy=OFF) is None
+        with use_bandwidth_policy(OFF):
+            assert flooding_bandwidth(g, 2) is None
+
+    def test_zero_rounds_is_an_empty_profile(self):
+        g = LocalGraph(cycle(4), seed=0)
+        profile = flooding_bandwidth(g, 0)
+        assert profile.total_bits == 0
+        assert profile.rounds == 0
+
+    def test_congest_overflow_deterministic(self):
+        g = LocalGraph(cycle(12), seed=3)
+        local = flooding_bandwidth(g, 3)
+        too_small = local.min_congest_budget - 1
+        assert too_small >= 1
+        captured = []
+        for _ in range(2):
+            with pytest.raises(BandwidthExceeded) as info:
+                flooding_bandwidth(g, 3, policy=CONGEST(too_small))
+            exc = info.value
+            captured.append((exc.edge, exc.round_index, exc.bits))
+        assert captured[0] == captured[1]
+        edge, round_index, bits = captured[0]
+        assert bits > CONGEST(too_small).capacity(g.n)
+
+    def test_sufficient_congest_budget_matches_local(self):
+        g = LocalGraph(cycle(12), seed=3)
+        local = flooding_bandwidth(g, 3)
+        congest = flooding_bandwidth(
+            g, 3, policy=CONGEST(local.min_congest_budget)
+        )
+        assert congest.total_bits == local.total_bits
+        assert congest.per_round == local.per_round
+        assert congest.per_edge == local.per_edge

@@ -83,6 +83,16 @@ class TestRendering:
         assert "reconciliation: OK" in text
         assert "**Status:** all schemas valid" in text
 
+    def test_bandwidth_section_and_column(self, subset_report):
+        text = render_markdown(subset_report)
+        assert "## Bandwidth (bits-on-wire)" in text
+        assert "bits-on-wire" in text  # summary table column
+        assert "min CONGEST B" in text
+        for record in subset_report["schemas"]:
+            bandwidth = record["telemetry"]["bandwidth"]
+            assert bandwidth["total_bits"] > 0
+            assert str(bandwidth["total_bits"]) in text
+
     def test_html_dashboard(self, subset_report):
         html = render_html(subset_report)
         assert html.startswith("<!doctype html>")
@@ -137,6 +147,24 @@ class TestHistory:
         broken["metrics"]["2-coloring"]["valid"] = False
         problems = check_history_drift(snapshot, broken)
         assert any("invalid" in p for p in problems)
+
+    def test_new_metric_is_not_drift(self, subset_report):
+        # A base entry recorded before an instrumentation landed (no
+        # bits_on_wire column) must not flag the fresh snapshot as drift.
+        snapshot = history_snapshot(subset_report)
+        assert snapshot["metrics"]["2-coloring"]["bits_on_wire"] > 0
+        older = json.loads(json.dumps(snapshot))
+        for row in older["metrics"].values():
+            row.pop("bits_on_wire", None)
+        assert check_history_drift(older, snapshot) == []
+
+    def test_disappearing_metric_is_drift(self, subset_report):
+        snapshot = history_snapshot(subset_report)
+        stripped = json.loads(json.dumps(snapshot))
+        for row in stripped["metrics"].values():
+            row.pop("bits_on_wire", None)
+        problems = check_history_drift(snapshot, stripped)
+        assert any("bits_on_wire" in p for p in problems)
 
 
 class TestCli:
