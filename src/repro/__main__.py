@@ -38,6 +38,12 @@ deterministic-metric history (:mod:`repro.obs.report`).
 quantiles, hotspot edges, and the minimal CONGEST budget that fits the
 run; under ``--policy congest`` a too-small ``--budget`` exits nonzero
 with the attributed overflow.
+
+``python -m repro certify [--json] [--schema S] [--selftest]`` runs the
+locality certifier (:mod:`repro.analysis.locality`): every schema's
+declared ``LocalityContract`` must equal the static upper bounds on
+``(T, beta)`` and dominate a dynamic tight-witness run; exits non-zero
+on any LOC101/LOC102/LOC103 finding.
 """
 
 from __future__ import annotations
@@ -382,6 +388,10 @@ def main(argv: Optional[list] = None) -> int:
         return report_main(argv[1:])
     if argv and argv[0] == "bandwidth":
         return bandwidth_main(argv[1:])
+    if argv and argv[0] == "certify":
+        from .analysis.locality import certify_main
+
+        return certify_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",

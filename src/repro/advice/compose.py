@@ -28,6 +28,7 @@ from .schema import (
     AdviceSchema,
     DecodeResult,
     InvalidAdvice,
+    LocalityContract,
     OracleSchema,
 )
 from .sparsity import max_holders_in_ball
@@ -47,6 +48,19 @@ class ComposedSchema(AdviceSchema):
         self.second = second
         self.name = name or f"{second.name}∘{first.name}"
         self.problem = second.problem
+
+    def locality_contract(self, graph: LocalGraph) -> Optional[LocalityContract]:
+        """Contracts compose additively: the decoder runs both stages in
+        sequence, and the encoder packs both payloads with the ``2b + 1``
+        self-delimiting overhead of :func:`pack_parts` per part."""
+        first = self.first.locality_contract(graph)
+        second = self.second.locality_contract(graph)
+        if first is None or second is None:
+            return None
+        return LocalityContract(
+            radius=first.radius + second.radius,
+            advice_bits=(2 * first.advice_bits + 1) + (2 * second.advice_bits + 1),
+        )
 
     def encode(self, graph: LocalGraph) -> AdviceMap:
         advice1 = self.first.encode(graph)

@@ -26,6 +26,7 @@ from ..lcl.problem import Label, LCLProblem
 from ..lcl.verify import violations
 from ..local.algorithm import LocalityTracker
 from ..local.graph import LocalGraph, Node
+from ..local.views import GLOBAL_KNOWLEDGE_RECORDER, track_global_knowledge
 from ..obs.bandwidth import (
     BandwidthExceeded,
     BandwidthProfile,
@@ -43,6 +44,55 @@ from ..obs.trace import NULL_TRACER, Tracer
 from ..perf import SimStats
 
 AdviceMap = Dict[Node, str]
+
+
+@dataclass(frozen=True)
+class LocalityContract:
+    """Declared locality budget of a schema on one instance (Def. 3.2).
+
+    ``radius`` is the decode radius ``T`` and ``advice_bits`` the per-node
+    advice length bound ``beta`` the schema *claims* for the given graph.
+    The claim is audited by :mod:`repro.analysis.locality`: a static pass
+    over the decoder/encoder ASTs must certify the same numbers
+    (``declared == certified``), and a dynamic witness run must stay within
+    them (``witness <= certified``).  Both quantities may depend on the
+    instance (e.g. through ``Delta`` or ``n``), which is why the contract
+    is a function of the graph rather than a class constant.
+    """
+
+    radius: int
+    advice_bits: int
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"radius": self.radius, "advice_bits": self.advice_bits}
+
+
+def locality_hints(**hints: object):
+    """Declare bounds for names the static locality pass cannot evaluate.
+
+    Applied to a schema's ``decode`` or ``encode``.  Each keyword names a
+    local variable of the decorated function whose value is data-dependent
+    (so the abstract interpreter widens it to ⊤); the hint supplies a sound
+    upper bound as either
+
+    - a string naming a method on the schema, called as ``method(graph)``, or
+    - a callable invoked as ``hint(schema, graph)``.
+
+    Two keys are special: ``"rounds"`` bounds the returned
+    ``DecodeResult.rounds`` when its expression is unevaluable, and
+    ``"advice_bits"`` bounds the encoder's per-node advice length.  Hints
+    are part of the audited contract — the certifier records which hints a
+    certificate leaned on, and the dynamic witness cross-check catches a
+    hint that under-declares.
+    """
+
+    def decorate(fn):
+        existing = dict(getattr(fn, "_locality_hints", {}))
+        existing.update(hints)
+        fn._locality_hints = existing
+        return fn
+
+    return decorate
 
 
 class AdviceError(RuntimeError):
@@ -184,6 +234,19 @@ class AdviceSchema(abc.ABC):
     def decode(self, graph: LocalGraph, advice: Mapping[Node, str]) -> DecodeResult:
         """Recover a solution from the labeled graph (LOCAL algorithm)."""
 
+    # -- locality contract ---------------------------------------------------
+
+    def locality_contract(self, graph: LocalGraph) -> Optional[LocalityContract]:
+        """The declared ``(T, beta)`` budget on ``graph``, or ``None``.
+
+        Returning ``None`` means the schema makes no claim and the
+        certifier (:mod:`repro.analysis.locality`) reports it as
+        uncontracted.  All registered schemas declare a contract; the
+        certifier checks it against an independent static bound and a
+        dynamic witness run.
+        """
+        return None
+
     # -- observability -------------------------------------------------------
 
     @property
@@ -270,14 +333,28 @@ class AdviceSchema(abc.ABC):
                         encode_span.set(total_bits=total_bits(graph, advice))
                 validate_advice_map(graph, advice)
                 with tracer.span("decode", schema=self.name) as decode_span:
+                    # Attribute global-knowledge disclosures made by this
+                    # decode to the schema, and keep the collected events
+                    # so failure reports can carry them.
+                    previous_owner = GLOBAL_KNOWLEDGE_RECORDER.owner
+                    GLOBAL_KNOWLEDGE_RECORDER.owner = self.name
                     try:
-                        result = self.decode(graph, advice)
-                    except AdviceError as exc:
-                        registry.counter("decode_errors_total").inc()
-                        exc.failure_report = build_error_report(
-                            self.name, graph, advice, exc, ring=tracer.ring()
-                        )
-                        raise
+                        with track_global_knowledge() as knowledge_uses:
+                            try:
+                                result = self.decode(graph, advice)
+                            except AdviceError as exc:
+                                registry.counter("decode_errors_total").inc()
+                                exc.failure_report = build_error_report(
+                                    self.name,
+                                    graph,
+                                    advice,
+                                    exc,
+                                    ring=tracer.ring(),
+                                    knowledge_uses=knowledge_uses,
+                                )
+                                raise
+                    finally:
+                        GLOBAL_KNOWLEDGE_RECORDER.owner = previous_owner
                     decode_span.set(rounds=result.rounds)
                 run = SchemaRun(
                     schema_name=self.name,
@@ -307,6 +384,7 @@ class AdviceSchema(abc.ABC):
                                 bad,
                                 result.rounds,
                                 ring=tracer.ring(),
+                                knowledge_uses=knowledge_uses,
                             )
                         verify_span.set(
                             valid=run.valid, violations=len(run.failures)
@@ -439,6 +517,10 @@ class OracleSchema(abc.ABC):
 
     name: str = "oracle-schema"
     problem: Optional[LCLProblem] = None
+
+    def locality_contract(self, graph: LocalGraph) -> Optional[LocalityContract]:
+        """Declared ``(T, beta)`` budget; see :meth:`AdviceSchema.locality_contract`."""
+        return None
 
     @abc.abstractmethod
     def encode(

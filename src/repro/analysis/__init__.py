@@ -17,6 +17,12 @@ actually holds (§8).  This package verifies those invariants:
   order-invariance claim;
 * :mod:`repro.analysis.waivers` — justified exemptions
   (``@lint_waiver``, ``@uses_global_knowledge``);
+* :mod:`repro.analysis.locality` — the locality certifier: static
+  abstract interpretation of encoder/decoder bodies infers upper bounds
+  on decode radius ``T`` and per-node advice bits ``beta``, which must
+  equal each schema's declared :class:`~repro.advice.schema.LocalityContract`
+  and dominate a dynamic tight-witness run (LOC101–LOC103,
+  ``python -m repro certify``);
 * :mod:`repro.analysis.cli` — ``python -m repro lint``.
 
 See ``docs/static_analysis.md`` for the full catalog and waiver policy.
@@ -45,27 +51,49 @@ _FUZZ_EXPORTS = (
     "run_order_harnesses",
 )
 
+#: names served lazily from :mod:`repro.analysis.locality` — the certifier
+#: imports the schema registry for certify_all, so the same circular-import
+#: hazard applies as for the fuzzer.
+_LOCALITY_EXPORTS = (
+    "LocalityCertificate",
+    "StaticBounds",
+    "certify_all",
+    "certify_schema",
+    "dynamic_witness",
+    "infer_static_bounds",
+)
+
 
 def __getattr__(name: str):
     if name in _FUZZ_EXPORTS:
         from . import fuzz
 
         return getattr(fuzz, name)
+    if name in _LOCALITY_EXPORTS:
+        from . import locality
+
+        return getattr(locality, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "DEFAULT_ROOTS",
     "FuzzResult",
     "LintReport",
+    "LocalityCertificate",
     "ORDER_INVARIANCE_CHECKED",
     "PurityCertificate",
     "RULES",
     "Rule",
+    "StaticBounds",
     "Violation",
     "apply_waiver_fixes",
+    "certify_all",
     "certify_pure_decider",
+    "certify_schema",
+    "dynamic_witness",
     "fuzz_all",
     "fuzz_schema",
+    "infer_static_bounds",
     "inspect_callable",
     "lint_waiver",
     "run_lint",

@@ -1,0 +1,58 @@
+"""Seeded-defect fixtures for the locality certifier.
+
+:class:`OverreachingSchema` is deliberately dishonest: it declares
+``LocalityContract(radius=1, advice_bits=1)`` but its decoder charges a
+radius-3 gather and its encoder hands every node three bits.  The
+certifier must reject it with an attributed LOC101 (radius) *and* LOC102
+(advice budget) — ``python -m repro certify --selftest`` and the CI gate
+pin this, so a regression that silently weakens the static pass or the
+contract comparison shows up as the fixture slipping through.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+from ..advice.schema import (
+    AdviceMap,
+    AdviceSchema,
+    DecodeResult,
+    LocalityContract,
+)
+from ..local.algorithm import LocalityTracker
+from ..local.graph import LocalGraph, Node
+
+
+class OverreachingSchema(AdviceSchema):
+    """Marks every node with its advice bit after a radius-3 gather.
+
+    The labeling itself is meaningless; what matters is that both real
+    costs (T = 3, beta = 3) exceed the declared contract (1, 1).
+    """
+
+    def __init__(self) -> None:
+        self.name = "overreaching-fixture"
+        self.problem = None
+
+    def locality_contract(self, graph: LocalGraph) -> LocalityContract:
+        # Intentionally understates both quantities.
+        return LocalityContract(radius=1, advice_bits=1)
+
+    def encode(self, graph: LocalGraph) -> AdviceMap:
+        return {v: "101" for v in graph.nodes()}
+
+    def decode(self, graph: LocalGraph, advice: Mapping[Node, str]) -> DecodeResult:
+        tracker = LocalityTracker(graph)
+        tracker.charge(3)
+        labeling: Dict[Node, int] = {}
+        for v in graph.nodes():
+            bits = advice.get(v, "")
+            labeling[v] = 1 if bits.startswith("1") else 0
+        return DecodeResult(labeling=labeling, rounds=tracker.rounds)
+
+
+def overreaching_instance(n: int = 16) -> Tuple[OverreachingSchema, LocalGraph]:
+    """The fixture schema on a small cycle, ready for certify_schema."""
+    from ..graphs.generators import cycle
+
+    return OverreachingSchema(), LocalGraph(cycle(n))

@@ -25,10 +25,12 @@ is precisely the judgment the mechanical gate defers to.
 
 from __future__ import annotations
 
+import dis
 import inspect
+import types
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Tuple
+from typing import Callable, List, Tuple
 
 from .engine import _propagate_contexts, inspect_callable, scan_module
 from .rules import Violation, check_function
@@ -94,6 +96,95 @@ def _reachable_qualnames(scan, root) -> set:
     return seen
 
 
+#: default values of these types are shared across calls: mutating one
+#: leaks state between pool tasks exactly like a module-global write.
+_MUTABLE_DEFAULT_TYPES = (dict, list, set, bytearray)
+
+
+def _mutable_default_findings(
+    fn: Callable, qualname: str, path: str
+) -> List[Violation]:
+    """LOC003 findings for mutable default argument values.
+
+    A ``def decide(view, seen={})`` accumulates across calls — the default
+    object is created once at definition time — so two pool workers and a
+    serial run can diverge even though the source looks pure.
+    """
+    code = fn.__code__
+    defaults = tuple(getattr(fn, "__defaults__", None) or ())
+    argnames = code.co_varnames[: code.co_argcount + code.co_kwonlyargcount]
+    named = list(zip(argnames[code.co_argcount - len(defaults):], defaults))
+    named.extend((getattr(fn, "__kwdefaults__", None) or {}).items())
+    findings = []
+    for name, value in named:
+        if isinstance(value, _MUTABLE_DEFAULT_TYPES):
+            findings.append(
+                Violation(
+                    rule="LOC003",
+                    message=(
+                        f"parameter {name!r} has a mutable default "
+                        f"({type(value).__name__}); the default object is "
+                        "shared across calls, so mutations outlive the call"
+                    ),
+                    path=path,
+                    line=code.co_firstlineno,
+                    function=qualname,
+                    context="runtime",
+                )
+            )
+    return findings
+
+
+def _closure_write_findings(
+    fn: Callable, qualname: str, path: str
+) -> List[Violation]:
+    """LOC003 findings for writes to closure cells captured from outside.
+
+    A ``nonlocal`` write to a variable of an *enclosing* scope (the
+    decider's free variables — Python threads them through every
+    intermediate code object, so the root ``co_freevars`` is the complete
+    set) mutates state that outlives the call.  Writes to the decider's
+    own cells (an accumulator shared with a nested helper) stay
+    call-local and are not flagged.
+    """
+    root = fn.__code__
+    outer_cells = set(root.co_freevars)
+    if not outer_cells:
+        return []
+    findings = []
+    seen = set()
+    stack = [root]
+    while stack:
+        code = stack.pop()
+        if id(code) in seen:
+            continue
+        seen.add(id(code))
+        for instr in dis.get_instructions(code):
+            if (
+                instr.opname in ("STORE_DEREF", "DELETE_DEREF")
+                and instr.argval in outer_cells
+            ):
+                findings.append(
+                    Violation(
+                        rule="LOC003",
+                        message=(
+                            f"writes closure cell {instr.argval!r} captured "
+                            "from an enclosing scope; that state outlives "
+                            "the call"
+                        ),
+                        path=path,
+                        line=code.co_firstlineno,
+                        function=qualname,
+                        context="runtime",
+                    )
+                )
+        stack.extend(
+            const for const in code.co_consts
+            if isinstance(const, types.CodeType)
+        )
+    return findings
+
+
 def _label(fn: Callable) -> str:
     module = getattr(fn, "__module__", "") or "<unknown>"
     qualname = getattr(fn, "__qualname__", getattr(fn, "__name__", "<fn>"))
@@ -107,9 +198,12 @@ def certify_pure_decider(fn: Callable) -> PurityCertificate:
     the ``view`` context onto ``fn`` itself, so the full view contract
     applies even when the parameter is not named/annotated ``view``) plus
     the runtime closure/global inspection of
-    :func:`repro.analysis.inspect_callable`.  Decorated functions are
-    unwrapped through ``__wrapped__`` (so ``mark_order_invariant`` and
-    ``functools.wraps`` chains certify their targets).
+    :func:`repro.analysis.inspect_callable`, plus two runtime-only checks
+    the static scan cannot see: mutable default argument values (the
+    default object is shared across calls) and ``nonlocal`` writes to
+    closure cells captured from an enclosing scope.  Decorated functions
+    are unwrapped through ``__wrapped__`` (so ``mark_order_invariant``
+    and ``functools.wraps`` chains certify their targets).
     """
     label = _label(fn)
     inner = fn
@@ -178,6 +272,8 @@ def certify_pure_decider(fn: Callable) -> PurityCertificate:
                 )
             )
     violations.extend(inspect_callable(fn, name=qualname))
+    violations.extend(_mutable_default_findings(inner, qualname, str(path)))
+    violations.extend(_closure_write_findings(inner, qualname, str(path)))
 
     relevant = [v for v in violations if v.rule in _PURITY_RULES]
     blocking = tuple(v for v in relevant if not v.waived)

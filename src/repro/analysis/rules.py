@@ -150,6 +150,33 @@ RULES: Dict[str, Rule] = {
             "whose harness re-runs it under identifier re-assignments.",
         ),
         Rule(
+            "LOC101",
+            "decoder radius exceeds the declared LocalityContract",
+            "The contract's T is the paper's decode radius (Def. 3.2) and "
+            "the serving cost O(Delta^T) depends on it; a decoder whose "
+            "certified hop bound exceeds — or whose declaration is looser "
+            "than — the certified value makes every downstream latency "
+            "claim unsound.",
+            waivable=False,
+        ),
+        Rule(
+            "LOC102",
+            "encoder advice exceeds the declared bit budget",
+            "beta bounds the per-node advice length (Def. 3.2); an encoder "
+            "that can emit more bits than the contract declares silently "
+            "breaks the compression guarantees built on top of it.",
+            waivable=False,
+        ),
+        Rule(
+            "LOC103",
+            "decoder traversal not statically bounded",
+            "A loop or view access whose radius the certifier cannot close "
+            "over means T is effectively unbounded; supply a "
+            "locality_hints bound (audited by the dynamic witness) or "
+            "restructure the decoder.",
+            waivable=False,
+        ),
+        Rule(
             "WVR001",
             "waiver without a justification string",
             "Every contract exemption must explain itself in the report; an "

@@ -52,11 +52,18 @@ class GlobalKnowledge(NamedTuple):
 
 
 class GlobalKnowledgeUse(NamedTuple):
-    """One recorded disclosure of global graph facts to a view consumer."""
+    """One recorded disclosure of global graph facts to a view consumer.
+
+    ``schema`` names the advice schema whose decode was in flight when the
+    disclosure happened (stamped by :meth:`repro.advice.AdviceSchema.run`),
+    or ``""`` when the access happened outside any schema run — it makes
+    lint and certify findings schema-addressable.
+    """
 
     center: Node
     attr: str
     via: str
+    schema: str = ""
 
 
 class _KnowledgeRecorder:
@@ -64,20 +71,28 @@ class _KnowledgeRecorder:
 
     ``total`` is always maintained; event objects are only materialized
     while a :func:`track_global_knowledge` block is active, so the hot
-    path stays one integer increment.
+    path stays one integer increment.  ``owner`` carries the name of the
+    schema currently decoding (set by the schema run driver) so collected
+    events are attributed to it.
     """
 
-    __slots__ = ("total", "_events")
+    __slots__ = ("total", "_events", "owner")
 
     def __init__(self) -> None:
         self.total = 0
         self._events: Optional[List[GlobalKnowledgeUse]] = None
+        self.owner: Optional[str] = None
 
     def record(self, view: "View", attr: str, via: str) -> None:
         self.total += 1
         if self._events is not None:
             self._events.append(
-                GlobalKnowledgeUse(center=view.center, attr=attr, via=via)
+                GlobalKnowledgeUse(
+                    center=view.center,
+                    attr=attr,
+                    via=via,
+                    schema=self.owner or "",
+                )
             )
 
 
@@ -101,6 +116,120 @@ def track_global_knowledge() -> Iterator[List[GlobalKnowledgeUse]]:
         yield events
     finally:
         recorder._events = previous
+
+
+class LocalityWitness(NamedTuple):
+    """Tight dynamic witness of one decode: what was *actually* touched.
+
+    ``radius`` is the deepest view layer any accessor reached, and
+    ``advice_bits`` the longest advice string fetched — lower bounds on
+    the true ``(T, beta)`` that the static certifier's upper bounds
+    (:mod:`repro.analysis.locality`) must dominate.
+    """
+
+    radius: int
+    advice_bits: int
+    view_accesses: int
+    advice_reads: int
+
+
+class _WitnessRecorder:
+    """Shadows :class:`View` accessors and advice reads during a decode.
+
+    Follows the :data:`GLOBAL_KNOWLEDGE_RECORDER` idiom: a module-level
+    instance whose hot path is a single ``_active`` check, armed only
+    inside a :func:`record_locality_witness` block.
+    """
+
+    __slots__ = (
+        "_active",
+        "max_depth",
+        "max_advice_bits",
+        "view_accesses",
+        "advice_reads",
+    )
+
+    def __init__(self) -> None:
+        self._active = False
+        self.reset()
+
+    def reset(self) -> None:
+        self.max_depth = 0
+        self.max_advice_bits = 0
+        self.view_accesses = 0
+        self.advice_reads = 0
+
+    def record_view(self, view: "View", v: Node) -> None:
+        self.view_accesses += 1
+        depth = view.distances.get(v)
+        if depth is not None and depth > self.max_depth:
+            self.max_depth = depth
+
+    def record_advice(self, bits: str) -> None:
+        self.advice_reads += 1
+        if len(bits) > self.max_advice_bits:
+            self.max_advice_bits = len(bits)
+
+    def witness(self, rounds: int = 0) -> LocalityWitness:
+        """The witness so far; ``rounds`` folds in the decoder's honest
+        round accounting (tracker charges use actual instance data, so
+        they are part of what the run demonstrably needed)."""
+        return LocalityWitness(
+            radius=max(self.max_depth, rounds),
+            advice_bits=self.max_advice_bits,
+            view_accesses=self.view_accesses,
+            advice_reads=self.advice_reads,
+        )
+
+
+LOCALITY_WITNESS_RECORDER = _WitnessRecorder()
+
+
+@contextmanager
+def record_locality_witness() -> Iterator[_WitnessRecorder]:
+    """Arm the witness recorder for the duration of a decode.
+
+    Not reentrant: nested blocks would clobber each other's counters, and
+    sub-decodes (composed schemas) are *meant* to accumulate into the
+    enclosing witness, so the certifier wraps exactly one top-level decode
+    per block.
+    """
+    recorder = LOCALITY_WITNESS_RECORDER
+    recorder.reset()
+    recorder._active = True
+    try:
+        yield recorder
+    finally:
+        recorder._active = False
+
+
+class RecordingAdviceMap(Mapping[Node, str]):
+    """Read-shadowing proxy over an advice map.
+
+    Every bit-string fetched through it — direct indexing, ``.get``, or
+    iteration of ``.items()``/``.values()`` — is reported to the witness
+    recorder, so the dynamic cross-check sees advice reads made by
+    tracker-style decoders that never build a :class:`View`.
+    """
+
+    def __init__(
+        self,
+        advice: Mapping[Node, str],
+        recorder: Optional[_WitnessRecorder] = None,
+    ) -> None:
+        self._advice = advice
+        self._recorder = recorder if recorder is not None else LOCALITY_WITNESS_RECORDER
+
+    def __getitem__(self, v: Node) -> str:
+        bits = self._advice[v]
+        self._recorder.record_advice(bits)
+        return bits
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._advice)
+
+    def __len__(self) -> int:
+        return len(self._advice)
 
 
 def uses_global_knowledge(reason: str):
@@ -206,18 +335,31 @@ class View:
     # -- basic queries ---------------------------------------------------------
 
     def id_of(self, v: Node) -> int:
+        if LOCALITY_WITNESS_RECORDER._active:
+            LOCALITY_WITNESS_RECORDER.record_view(self, v)
         return self.ids[v]
 
     def input_of(self, v: Node) -> object:
+        if LOCALITY_WITNESS_RECORDER._active:
+            LOCALITY_WITNESS_RECORDER.record_view(self, v)
         return self.inputs.get(v)
 
     def advice_of(self, v: Node) -> str:
-        return self.advice.get(v, "")
+        bits = self.advice.get(v, "")
+        if LOCALITY_WITNESS_RECORDER._active:
+            LOCALITY_WITNESS_RECORDER.record_view(self, v)
+            LOCALITY_WITNESS_RECORDER.record_advice(bits)
+        return bits
 
     def distance(self, v: Node) -> int:
+        if LOCALITY_WITNESS_RECORDER._active:
+            LOCALITY_WITNESS_RECORDER.record_view(self, v)
         return self.distances[v]
 
     def has_edge(self, u: Node, v: Node) -> bool:
+        if LOCALITY_WITNESS_RECORDER._active:
+            LOCALITY_WITNESS_RECORDER.record_view(self, u)
+            LOCALITY_WITNESS_RECORDER.record_view(self, v)
         return (u, v) in self.edges or (v, u) in self.edges
 
     def _adjacency(self) -> Dict[Node, List[Node]]:
@@ -240,9 +382,16 @@ class View:
 
     def neighbors(self, v: Node) -> List[Node]:
         """Neighbors of ``v`` visible in the view, in identifier order."""
-        return list(self._adjacency().get(v, ()))
+        result = list(self._adjacency().get(v, ()))
+        if LOCALITY_WITNESS_RECORDER._active:
+            LOCALITY_WITNESS_RECORDER.record_view(self, v)
+            for u in result:
+                LOCALITY_WITNESS_RECORDER.record_view(self, u)
+        return result
 
     def degree(self, v: Node) -> int:
+        if LOCALITY_WITNESS_RECORDER._active:
+            LOCALITY_WITNESS_RECORDER.record_view(self, v)
         return len(self._adjacency().get(v, ()))
 
     def nodes_sorted(self) -> List[Node]:

@@ -66,6 +66,10 @@ class FailureReport:
     neighbor_labels: Dict[Node, object] = field(default_factory=dict)
     trace_events: List[Dict[str, object]] = field(default_factory=list)
     error: Optional[str] = None
+    #: global-knowledge disclosures (``View.global_knowledge`` & friends)
+    #: recorded during the failing decode, attributed to the owning schema
+    #: — see :class:`repro.local.views.GlobalKnowledgeUse`.
+    knowledge_uses: List[Dict[str, object]] = field(default_factory=list)
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -81,6 +85,7 @@ class FailureReport:
             "neighbor_labels": {repr(v): repr(l) for v, l in self.neighbor_labels.items()},
             "trace_events": self.trace_events,
             "error": self.error,
+            "knowledge_uses": self.knowledge_uses,
         }
 
     def summary(self) -> str:
@@ -96,6 +101,21 @@ class FailureReport:
         )
 
 
+def _knowledge_use_dicts(uses: Optional[Sequence[object]]) -> List[Dict[str, object]]:
+    """JSON-able form of recorded :class:`GlobalKnowledgeUse` events."""
+    if not uses:
+        return []
+    return [
+        {
+            "center": repr(getattr(u, "center", None)),
+            "attr": getattr(u, "attr", ""),
+            "via": getattr(u, "via", ""),
+            "schema": getattr(u, "schema", ""),
+        }
+        for u in uses
+    ]
+
+
 def build_violation_reports(
     schema_name: str,
     graph: LocalGraph,
@@ -105,9 +125,11 @@ def build_violation_reports(
     rounds: int,
     ring: Optional[RingSink] = None,
     limit: int = 5,
+    knowledge_uses: Optional[Sequence[object]] = None,
 ) -> List[FailureReport]:
     """One report per violating node (capped at ``limit``)."""
     radius = max(1, min(rounds, MAX_REPORT_RADIUS))
+    uses = _knowledge_use_dicts(knowledge_uses)
     reports = []
     for node in list(bad_nodes)[:limit]:
         neighbors = graph.neighbors(node)
@@ -124,6 +146,7 @@ def build_violation_reports(
                 label=labeling.get(node),
                 neighbor_labels={u: labeling.get(u) for u in neighbors},
                 trace_events=ring.touching_node(node) if ring is not None else [],
+                knowledge_uses=uses,
             )
         )
     return reports
@@ -174,6 +197,7 @@ def build_error_report(
     error: BaseException,
     rounds_hint: int = 1,
     ring: Optional[RingSink] = None,
+    knowledge_uses: Optional[Sequence[object]] = None,
 ) -> FailureReport:
     """Attribution for a decoder that raised instead of returning.
 
@@ -196,6 +220,7 @@ def build_error_report(
         view_hash=view_fingerprint(graph, node, radius, advice=advice) if known else None,
         trace_events=ring.touching_node(node) if (ring is not None and node is not None) else [],
         error=f"{type(error).__name__}: {error}",
+        knowledge_uses=_knowledge_use_dicts(knowledge_uses),
     )
 
 

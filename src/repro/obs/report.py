@@ -169,6 +169,20 @@ def collect_schema(name: str, n: int, seed: int) -> Dict[str, object]:
         "reconciliation": profile.reconcile(run.telemetry),
         "failures": len(run.failures),
     }
+    try:
+        from ..analysis.locality import certify_schema
+
+        cert = certify_schema(name, schema, graph, run_dynamic=False)
+        record["locality"] = cert.as_dict()
+        record["certified_T"] = (
+            cert.declared_radius if cert.passed else "FAIL"
+        )
+        record["certified_beta"] = (
+            cert.declared_advice_bits if cert.passed else "FAIL"
+        )
+    except Exception as exc:  # certification must not sink the dashboard
+        record["locality"] = {"error": f"{type(exc).__name__}: {exc}"}
+        record["certified_T"] = record["certified_beta"] = "-"
     return record
 
 
@@ -298,6 +312,8 @@ _SUMMARY_COLUMNS = (
     ("valid", "valid"),
     ("β", "beta"),
     ("T", "rounds"),
+    ("cert T", "certified_T"),
+    ("cert β", "certified_beta"),
     ("bits/node", "bits_per_node"),
     ("type", "schema_type"),
     ("engine", "engine"),

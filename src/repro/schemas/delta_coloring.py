@@ -42,7 +42,9 @@ from ..advice.schema import (
     AdviceSchema,
     DecodeResult,
     InvalidAdvice,
+    LocalityContract,
     OracleSchema,
+    locality_hints,
 )
 from ..algorithms.coloring import (
     assert_proper,
@@ -93,6 +95,23 @@ class ClusterColoringSchema(AdviceSchema):
         self.spacing = spacing
         self.max_linial_rounds = max_linial_rounds
 
+    def _advice_bits_bound(self, graph: LocalGraph) -> int:
+        # A center stores its cluster-graph color in binary; greedy cluster
+        # coloring never exceeds the number of centers, itself at most n.
+        return max(1, graph.n.bit_length())
+
+    def locality_contract(self, graph: LocalGraph) -> LocalityContract:
+        # T: max over the tracker's charges — cluster gather/broadcast
+        # (2 * (spacing - 1)) versus Voronoi plus the capped Linial phase.
+        return LocalityContract(
+            radius=max(
+                2 * (self.spacing - 1),
+                self.spacing - 1 + self.max_linial_rounds,
+            ),
+            advice_bits=self._advice_bits_bound(graph),
+        )
+
+    @locality_hints(advice_bits="_advice_bits_bound")
     def encode(self, graph: LocalGraph) -> AdviceMap:
         centers = greedy_ruling_set(graph, self.spacing)
         clustering = voronoi_clustering(graph, centers)
@@ -187,9 +206,18 @@ class DeltaPlusOneReduction(OracleSchema):
         self.name = "delta-plus-one-reduction"
         self.problem = None
 
+    def _rounds_bound(self, graph: LocalGraph) -> int:
+        # One scheduling round per color class above Delta + 1; the input
+        # palette is at most n colors.
+        return graph.n
+
+    def locality_contract(self, graph: LocalGraph) -> LocalityContract:
+        return LocalityContract(radius=self._rounds_bound(graph), advice_bits=0)
+
     def encode(self, graph: LocalGraph, oracle: Mapping[Node, int]) -> AdviceMap:
         return {v: "" for v in graph.nodes()}
 
+    @locality_hints(rounds="_rounds_bound")
     def decode(
         self,
         graph: LocalGraph,
@@ -238,6 +266,13 @@ class DeltaRepairSchema(OracleSchema):
         self.repair_radius = repair_radius
         self.max_repair_radius = max_repair_radius
         self.strategy = strategy
+
+    def locality_contract(self, graph: LocalGraph) -> LocalityContract:
+        # T: the decode is a 1-round advice overlay; beta: the diff marker
+        # bit plus a color in 1..Delta.
+        return LocalityContract(
+            radius=1, advice_bits=1 + _color_width(graph.max_degree)
+        )
 
     def _radii(self, graph: LocalGraph) -> List[int]:
         cap = self.max_repair_radius
@@ -435,6 +470,9 @@ class DeltaColoringSchema(AdviceSchema):
                 repair_radius=repair_radius, max_repair_radius=max_repair_radius
             ),
         )
+
+    def locality_contract(self, graph: LocalGraph) -> Optional[LocalityContract]:
+        return self._pipeline.locality_contract(graph)
 
     def encode(self, graph: LocalGraph) -> AdviceMap:
         return self._pipeline.encode(graph)

@@ -66,6 +66,8 @@ from ..advice.schema import (
     AdviceSchema,
     DecodeResult,
     InvalidAdvice,
+    LocalityContract,
+    locality_hints,
 )
 from ..algorithms.bfs import bfs_distances
 from ..analysis.waivers import lint_waiver
@@ -306,6 +308,30 @@ class LCLSubexpSchema(AdviceSchema):
             raise AdviceError(f"{self.problem.name} has no solution on this graph")
         return solved
 
+    def _phase_bound(self, graph: LocalGraph) -> int:
+        # Cluster colors come from the distance-5x coloring; its palette
+        # bounds the decoder's phase count.
+        colors = distance_coloring(graph, 5 * self.x)
+        return max(colors.values(), default=1) or 1
+
+    def _advice_bits_bound(self, graph: LocalGraph) -> int:
+        # pack_parts of [color part, label part]: each part costs
+        # 2 * len + 1 bits with its unary prefix.
+        color_width = max(1, self._phase_bound(graph).bit_length())
+        label_width = max(
+            (_label_width(self.problem, graph, v) for v in graph.nodes()),
+            default=1,
+        )
+        return (2 * color_width + 1) + (2 * label_width + 1)
+
+    def locality_contract(self, graph: LocalGraph) -> LocalityContract:
+        return LocalityContract(
+            radius=self._phase_bound(graph) * (2 * self.x + self.r + 2)
+            + 2 * (2 * self.x),
+            advice_bits=self._advice_bits_bound(graph),
+        )
+
+    @locality_hints(advice_bits="_advice_bits_bound")
     def encode(self, graph: LocalGraph) -> AdviceMap:
         solution = self._global_solution(graph)
         if not is_valid(self.problem, graph, solution):
@@ -348,6 +374,7 @@ class LCLSubexpSchema(AdviceSchema):
                 changed = True
         return patched if changed else None
 
+    @locality_hints(phases="_phase_bound")
     def decode(self, graph: LocalGraph, advice: Mapping[Node, str]) -> DecodeResult:
         tracker = LocalityTracker(graph)
         centers: Dict[Node, int] = {}
@@ -446,6 +473,14 @@ class OneBitLCLSchema(AdviceSchema):
         self.r = r if r is not None else problem.radius
         self._solution = dict(solution) if solution is not None else None
         self.max_solver_steps = max_solver_steps
+
+    def locality_contract(self, graph: LocalGraph) -> LocalityContract:
+        # T: per-phase cost times the degree-scale phase count charged by
+        # the decoder; beta: one marker-code bit per node (Lemma 9.2).
+        return LocalityContract(
+            radius=(graph.max_degree + 2) * (2 * self.x + self.r + 2),
+            advice_bits=1,
+        )
 
     # -- shared helpers -------------------------------------------------------
 

@@ -45,6 +45,7 @@ from ..advice.schema import (
     AdviceSchema,
     DecodeResult,
     InvalidAdvice,
+    LocalityContract,
 )
 from ..algorithms.lll import BadEvent, LLLInstance, moser_tardos
 from ..algorithms.orientation import (
@@ -391,6 +392,14 @@ class BalancedOrientationSchema(AdviceSchema):
     def spacing_for(self, graph: LocalGraph) -> int:
         return self._anchor_spacing or self.walk_limit_for(graph)
 
+    def locality_contract(self, graph: LocalGraph) -> LocalityContract:
+        # T: each edge walks at most walk_limit steps towards an anchor,
+        # plus the one hop the endpoints exchange; beta: anchor tail stores
+        # "1" + direction bit, the head stores "1".
+        return LocalityContract(
+            radius=self.walk_limit_for(graph) + 1, advice_bits=2
+        )
+
     # -- encode ------------------------------------------------------------
 
     def encode(self, graph: LocalGraph) -> AdviceMap:
@@ -579,6 +588,15 @@ class OneBitOrientationSchema(AdviceSchema):
         payload_bits = self._port_width(graph) + 1
         # header(8) + worst-case 4 bits/payload bit + terminator(1)
         return 8 + 4 * payload_bits + 1
+
+    def locality_contract(self, graph: LocalGraph) -> LocalityContract:
+        # T: small components gather themselves whole (2 * walk_limit),
+        # everything else walks to an anchor and decodes its marker-code
+        # window; beta: the uniform single bit of Lemma 9.2.
+        limit = self.walk_limit_for(graph)
+        return LocalityContract(
+            radius=max(2 * limit, limit + self._window(graph)), advice_bits=1
+        )
 
     def _small_component_nodes(self, graph: LocalGraph) -> Set[Node]:
         """Nodes in components of diameter <= walk_limit.

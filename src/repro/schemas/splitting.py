@@ -28,7 +28,9 @@ from ..advice.schema import (
     AdviceSchema,
     DecodeResult,
     InvalidAdvice,
+    LocalityContract,
     OracleSchema,
+    locality_hints,
 )
 from ..lcl.catalog import BLUE, RED, edge_coloring, splitting
 from ..lcl.problem import Labeling
@@ -58,6 +60,17 @@ class SplittingOracleSchema(OracleSchema):
         self.name = "splitting-given-2-coloring"
         self.problem = splitting()
         self.orientation = orientation or BalancedOrientationSchema()
+
+    def locality_contract(self, graph: LocalGraph) -> Optional[LocalityContract]:
+        # The decoder is the orientation decoder plus one round in which
+        # endpoints exchange incident edge colors; the advice is exactly
+        # the orientation advice.
+        inner = self.orientation.locality_contract(graph)
+        if inner is None:
+            return None
+        return LocalityContract(
+            radius=inner.radius + 1, advice_bits=inner.advice_bits
+        )
 
     def encode(self, graph: LocalGraph, oracle: Mapping[Node, int]) -> AdviceMap:
         return self.orientation.encode(graph)
@@ -130,6 +143,22 @@ class DeltaEdgeColoringSchema(AdviceSchema):
             raise AdviceError("Delta must be a power of 2 and >= 2")
         return delta.bit_length() - 1
 
+    def _advice_bits_bound(self, graph: LocalGraph) -> int:
+        # One packed 2-coloring part (1 bit -> 2*1+1) plus 2^levels - 1
+        # orientation parts (2 bits each -> 2*2+1) per node.
+        levels = self._levels(graph.max_degree)
+        return 3 + (2**levels - 1) * 5
+
+    def locality_contract(self, graph: LocalGraph) -> LocalityContract:
+        # T: the shared 2-coloring decode plus, per level, one splitting
+        # pass (orientation walk + 1 exchange round); classes at a level
+        # run in parallel.  beta: the packed parts bound above.
+        levels = self._levels(graph.max_degree)
+        return LocalityContract(
+            radius=(self.spacing - 1) + levels * (self.walk_limit + 2),
+            advice_bits=self._advice_bits_bound(graph),
+        )
+
     def _class_subgraphs(
         self, graph: LocalGraph, colors: Dict[Tuple[Node, Node], Tuple[int, ...]]
     ) -> Dict[Tuple[int, ...], List[Tuple[Node, Node]]]:
@@ -138,6 +167,7 @@ class DeltaEdgeColoringSchema(AdviceSchema):
             classes.setdefault(prefix, []).append(edge)
         return classes
 
+    @locality_hints(advice_bits="_advice_bits_bound")
     def encode(self, graph: LocalGraph) -> AdviceMap:
         delta = graph.max_degree
         levels = self._levels(delta)

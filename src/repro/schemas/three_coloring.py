@@ -48,6 +48,7 @@ from ..advice.schema import (
     AdviceSchema,
     DecodeResult,
     InvalidAdvice,
+    LocalityContract,
 )
 from ..algorithms.bfs import bfs_distances, diameter_at_most
 from ..graphs.planted import greedy_recolor, is_greedy_coloring
@@ -115,6 +116,18 @@ class ThreeColoringSchema(AdviceSchema):
             self.ruling_spacing_for(delta)
             + self.q_radius
             + self.span_for(delta)
+        )
+
+    def locality_contract(self, graph: LocalGraph) -> LocalityContract:
+        # T: max over the decoder's charges — the type-1 classification
+        # (2), small-component gathering (2 * threshold), and the type-23
+        # group search plus span walk; beta: the uniform single bit.
+        delta = max(1, graph.max_degree)
+        threshold = self.component_threshold_for(delta)
+        span = self.span_for(delta)
+        search = self.search_radius_for(delta)
+        return LocalityContract(
+            radius=max(2, 2 * threshold, search + span + 2), advice_bits=1
         )
 
     # -- encoding ------------------------------------------------------------

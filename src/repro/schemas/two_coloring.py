@@ -26,6 +26,7 @@ from ..advice.schema import (
     AdviceSchema,
     DecodeResult,
     InvalidAdvice,
+    LocalityContract,
 )
 from ..algorithms.ruling_set import greedy_ruling_set
 from ..local.model import MessagePassingAlgorithm, run_view_algorithm
@@ -71,6 +72,11 @@ class TwoColoringSchema(AdviceSchema):
         self.name = "two-coloring"
         self.problem = vertex_coloring(2)
         self.spacing = spacing
+
+    def locality_contract(self, graph: LocalGraph) -> LocalityContract:
+        # T: the view algorithm gathers a radius-(spacing - 1) ball (every
+        # node sees an anchor at that distance); beta: one color bit.
+        return LocalityContract(radius=self.spacing - 1, advice_bits=1)
 
     def encode(self, graph: LocalGraph) -> AdviceMap:
         coloring = _bipartition(graph)
@@ -172,6 +178,13 @@ class OneBitTwoColoringSchema(AdviceSchema):
         self.name = "one-bit-two-coloring"
         self.problem = vertex_coloring(2)
         self.spacing = max(spacing, 2 * self.WINDOW + 3)
+
+    def locality_contract(self, graph: LocalGraph) -> LocalityContract:
+        # T: anchor search radius plus the marker-code window the payload
+        # decode walks; beta: the uniform Lemma 9.2 single bit.
+        return LocalityContract(
+            radius=self.spacing - 1 + self.WINDOW, advice_bits=1
+        )
 
     def encode(self, graph: LocalGraph) -> AdviceMap:
         coloring = _bipartition(graph)

@@ -1,0 +1,135 @@
+"""The ``--fix-waivers`` rewriter: TODO-justified waiver insertion.
+
+The rewriter edits source files in place, so the properties worth pinning
+are mechanical safety ones: a round trip (lint -> fix -> lint) converts
+every unwaived finding into a waived one without touching anything else,
+a clean tree is never edited (idempotence), ``dry_run`` reports without
+writing, and the exit-code contract of the lint pass flips accordingly.
+"""
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis import apply_waiver_fixes, run_lint
+
+OFFENDING_SOURCE = """\
+\"\"\"A decoder that consults ambient randomness (LOC002).\"\"\"
+
+import random
+
+
+def decide(view):
+    return random.random()
+
+
+def helper_only(data):
+    return sorted(data)
+"""
+
+CLEAN_SOURCE = """\
+\"\"\"A well-behaved decoder: pure function of its view.\"\"\"
+
+
+def decide(view):
+    return min(view.nodes, default=None)
+"""
+
+
+def _make_tree(tmp_path: Path, source: str) -> Path:
+    """A minimal ``src_root`` layout run_lint can scan."""
+    pkg = tmp_path / "repro" / "fixturepkg"
+    pkg.mkdir(parents=True)
+    (pkg / "__init__.py").write_text("")
+    (pkg / "deciders.py").write_text(textwrap.dedent(source))
+    return tmp_path
+
+
+def _lint(src_root: Path):
+    return run_lint(
+        src_root=src_root, roots=("fixturepkg",), checked_refs=set()
+    )
+
+
+class TestRoundTrip:
+    def test_fix_waives_the_finding(self, tmp_path):
+        root = _make_tree(tmp_path, OFFENDING_SOURCE)
+        report = _lint(root)
+        assert report.exit_code == 1
+        assert any(v.rule == "LOC002" for v in report.unwaived)
+
+        edited = apply_waiver_fixes(report)
+        assert edited == [str(root / "repro" / "fixturepkg" / "deciders.py")]
+
+        text = (root / "repro" / "fixturepkg" / "deciders.py").read_text()
+        assert '@lint_waiver("LOC002", "TODO' in text
+        assert "from repro.analysis import lint_waiver" in text
+
+        after = _lint(root)
+        assert after.exit_code == 0
+        assert any(v.rule == "LOC002" for v in after.waived)
+        # The untouched sibling is still untouched.
+        assert "helper_only(data)" in text
+
+    def test_inserted_decorator_sits_on_the_offending_def(self, tmp_path):
+        root = _make_tree(tmp_path, OFFENDING_SOURCE)
+        apply_waiver_fixes(_lint(root))
+        lines = (
+            (root / "repro" / "fixturepkg" / "deciders.py")
+            .read_text()
+            .splitlines()
+        )
+        deco_at = next(
+            i for i, l in enumerate(lines) if l.startswith("@lint_waiver")
+        )
+        assert lines[deco_at + 1].startswith("def decide(view):")
+
+
+class TestIdempotence:
+    def test_clean_tree_is_never_edited(self, tmp_path):
+        root = _make_tree(tmp_path, CLEAN_SOURCE)
+        path = root / "repro" / "fixturepkg" / "deciders.py"
+        before = path.read_text()
+        report = _lint(root)
+        assert report.exit_code == 0
+        assert apply_waiver_fixes(report) == []
+        assert path.read_text() == before
+
+    def test_second_fix_pass_is_a_no_op(self, tmp_path):
+        root = _make_tree(tmp_path, OFFENDING_SOURCE)
+        apply_waiver_fixes(_lint(root))
+        path = root / "repro" / "fixturepkg" / "deciders.py"
+        once = path.read_text()
+        assert apply_waiver_fixes(_lint(root)) == []
+        assert path.read_text() == once
+
+
+class TestDryRun:
+    def test_dry_run_reports_without_writing(self, tmp_path):
+        root = _make_tree(tmp_path, OFFENDING_SOURCE)
+        path = root / "repro" / "fixturepkg" / "deciders.py"
+        before = path.read_text()
+        report = _lint(root)
+        edited = apply_waiver_fixes(report, dry_run=True)
+        assert edited == [str(path)]
+        assert path.read_text() == before
+
+
+class TestExitCodes:
+    def test_exit_flips_once_justified(self, tmp_path):
+        root = _make_tree(tmp_path, OFFENDING_SOURCE)
+        path = root / "repro" / "fixturepkg" / "deciders.py"
+        assert _lint(root).exit_code == 1
+        apply_waiver_fixes(_lint(root))
+        assert _lint(root).exit_code == 0
+        # A human replacing the TODO with a real reason keeps it waived.
+        path.write_text(
+            path.read_text().replace(
+                "TODO: justify this LOC002 exemption",
+                "randomness is seeded by the harness, reproducible",
+            )
+        )
+        report = _lint(root)
+        assert report.exit_code == 0
+        assert any(
+            "reproducible" in v.waiver_reason for v in report.waived
+        )

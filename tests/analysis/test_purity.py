@@ -96,6 +96,129 @@ class TestVerdicts:
         assert "_helper" in cert.reason
 
 
+class TestRuntimeOnlyImpurity:
+    """Hazards invisible to the static module scan: shared default
+    objects and nonlocal closure-cell writes."""
+
+    def test_mutable_default_dict_blocks(self, tmp_path):
+        mod = _load_module(
+            tmp_path,
+            "deciders_md",
+            """
+            def memoized(view, seen={}):
+                seen[view.center] = 1
+                return len(seen)
+            """,
+        )
+        cert = certify_pure_decider(mod.memoized)
+        assert not cert.pure
+        assert any(
+            v.rule == "LOC003" and "mutable default" in v.message
+            for v in cert.findings
+        )
+
+    def test_mutable_kwonly_default_blocks(self, tmp_path):
+        mod = _load_module(
+            tmp_path,
+            "deciders_mk",
+            """
+            def decide(view, *, acc=[]):
+                acc.append(view.center)
+                return len(acc)
+            """,
+        )
+        cert = certify_pure_decider(mod.decide)
+        assert not cert.pure
+        assert any("'acc'" in v.message for v in cert.findings)
+
+    def test_immutable_defaults_fine(self, tmp_path):
+        mod = _load_module(
+            tmp_path,
+            "deciders_im",
+            """
+            def decide(view, radius=3, label=("a", "b"), name="x"):
+                return radius
+            """,
+        )
+        cert = certify_pure_decider(mod.decide)
+        assert cert.pure, cert.reason
+
+    def test_closure_cell_write_blocks(self, tmp_path):
+        mod = _load_module(
+            tmp_path,
+            "deciders_cw",
+            """
+            def make_decider():
+                calls = 0
+
+                def decide(view):
+                    nonlocal calls
+                    calls += 1
+                    return calls
+
+                return decide
+
+            decide = make_decider()
+            """,
+        )
+        cert = certify_pure_decider(mod.decide)
+        assert not cert.pure
+        assert any(
+            v.rule == "LOC003" and "closure cell" in v.message
+            for v in cert.findings
+        )
+
+    def test_nested_closure_write_through_root_blocks(self, tmp_path):
+        mod = _load_module(
+            tmp_path,
+            "deciders_cn",
+            """
+            def make_decider():
+                hits = 0
+
+                def decide(view):
+                    def bump():
+                        nonlocal hits
+                        hits += 1
+
+                    bump()
+                    return hits
+
+                return decide
+
+            decide = make_decider()
+            """,
+        )
+        cert = certify_pure_decider(mod.decide)
+        assert not cert.pure
+        assert any("'hits'" in v.message for v in cert.findings)
+
+    def test_call_local_accumulator_not_flagged_by_runtime_check(self, tmp_path):
+        # A cell the decider itself owns (shared with a nested helper) is
+        # call-local state: the *runtime* closure check must stay quiet.
+        # (The static LOC003 pass still flags the nonlocal conservatively;
+        # this pins that the bytecode check adds no duplicate.)
+        from repro.analysis.purity import _closure_write_findings
+
+        mod = _load_module(
+            tmp_path,
+            "deciders_ca",
+            """
+            def decide(view):
+                total = 0
+
+                def bump(v):
+                    nonlocal total
+                    total += v
+
+                for node in sorted(view.nodes):
+                    bump(1)
+                return total
+            """,
+        )
+        assert _closure_write_findings(mod.decide, "decide", "x.py") == []
+
+
 class TestConservativeRefusals:
     def test_builtin_refused(self):
         cert = certify_pure_decider(len)
