@@ -22,10 +22,12 @@ from .core.api import (
     make_schema,
     solve_with_advice,
 )
+from .dynamic import ChurnRunner, MutationPlan, generate_mutation_plan, run_churn_campaign
 from .faults import FaultPlan, RobustRunner, run_campaign
 from .local.graph import LocalGraph
 from .obs import (
     NULL_TRACER,
+    ChurnReport,
     FailureReport,
     JsonlSink,
     MetricsRegistry,
@@ -39,9 +41,12 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AdviceSchema",
+    "ChurnReport",
+    "ChurnRunner",
     "DecodeResult",
     "FailureReport",
     "FaultPlan",
+    "MutationPlan",
     "JsonlSink",
     "LocalGraph",
     "MetricsRegistry",
@@ -56,7 +61,9 @@ __all__ = [
     "available_schemas",
     "compress_edges",
     "decompress_edges",
+    "generate_mutation_plan",
     "make_schema",
     "run_campaign",
+    "run_churn_campaign",
     "solve_with_advice",
 ]

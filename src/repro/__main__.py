@@ -20,6 +20,13 @@ gets flipped/erased/truncated advice bits and must either self-heal
 locally or escalate visibly; exits non-zero unless detection is 100% and
 every run ends valid.
 
+``python -m repro churn [--mutations N] [--seed S] [--json] [--out FILE]``
+runs the seeded live-mutation campaign (:mod:`repro.dynamic`): flagship
+instances mutate under a family-preserving churn plan and the dynamic
+runner must keep the (graph, advice) pair valid by bounded-radius local
+repair; exits non-zero unless every mutation ends valid and the
+local-repair rate meets the floor.
+
 ``python -m repro profile <schema> [--metric M] [--collapsed FILE]``
 runs one schema with a tracer attached and prints the per-span work
 profile (:mod:`repro.obs.profile`) — self/cumulative wall time, engine
@@ -206,6 +213,87 @@ def chaos_main(argv: list) -> int:
     return 0 if result.ok else 1
 
 
+def churn_main(argv: list) -> int:
+    """``python -m repro churn``: the seeded live-mutation campaign."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro churn",
+        description="Mutate flagship instances under a seeded churn plan and "
+        "check the dynamic runner keeps the (graph, advice) pair valid by "
+        "local repair.",
+    )
+    parser.add_argument(
+        "--mutations",
+        type=int,
+        default=500,
+        help="mutation stream length per schema (default 500)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="campaign seed")
+    parser.add_argument("--n", type=int, default=64, help="instance size hint")
+    parser.add_argument(
+        "--schema",
+        action="append",
+        help="restrict to this flagship schema (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--decode-every",
+        type=int,
+        default=50,
+        help="full advice re-decode checkpoint cadence (default 50)",
+    )
+    parser.add_argument(
+        "--min-local-rate",
+        type=float,
+        default=0.95,
+        help="local-repair-rate floor the campaign must meet (default 0.95)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full campaign report as JSON",
+    )
+    parser.add_argument(
+        "--out", default=None, help="also write the JSON report to this file"
+    )
+    args = parser.parse_args(argv)
+
+    from .dynamic import run_churn_campaign
+
+    result = run_churn_campaign(
+        mutations=args.mutations,
+        seed=args.seed,
+        schemas=args.schema,
+        n=args.n,
+        decode_every=args.decode_every,
+        min_local_rate=args.min_local_rate,
+    )
+    payload = result.as_dict()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        totals = result.totals
+        print(
+            f"churn campaign: {totals['mutations']} mutations, "
+            f"{totals['repairs_local']} local, "
+            f"{totals['reencode_fallbacks']} re-encodes, "
+            f"{totals['failures']} failures"
+        )
+        for report in result.reports:
+            print("  " + report.summary())
+        print(
+            f"local repair {totals['local_rate']:.1%}, "
+            f"radius histogram {totals['repair_radius_hist']}, "
+            f"checkpoints {totals['checkpoints']} "
+            f"({totals['checkpoint_failures']} failed)"
+        )
+        if not result.ok:
+            print("CHURN FAILURE: see per-mutation records (--json) for details")
+    return 0 if result.ok else 1
+
+
 def profile_main(argv: list) -> int:
     """``python -m repro profile <schema>``: one traced, attributed run."""
     parser = argparse.ArgumentParser(
@@ -380,6 +468,8 @@ def main(argv: Optional[list] = None) -> int:
         return lint_main(argv[1:])
     if argv and argv[0] == "chaos":
         return chaos_main(argv[1:])
+    if argv and argv[0] == "churn":
+        return churn_main(argv[1:])
     if argv and argv[0] == "profile":
         return profile_main(argv[1:])
     if argv and argv[0] == "report":

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from ..lcl.problem import Label, LCLProblem
 from ..lcl.verify import violations
@@ -112,18 +112,30 @@ class InvalidAdvice(AdviceError):
     valid solution (e.g. after corruption)."""
 
 
-def validate_advice_map(graph: LocalGraph, advice: Mapping[Node, str]) -> None:
+def validate_advice_map(
+    graph: LocalGraph, advice: Mapping[Node, str], complete: bool = False
+) -> None:
     """Raise :class:`AdviceError` unless the map is well-formed.
 
     Every label must be a bit-string, and every key must name a node of
     ``graph`` — a stray key means the encoder (or an injected fault)
     addressed a node that does not exist, which no LOCAL decoder could
     ever read.
+
+    With ``complete=True`` every node must also *have* an entry (possibly
+    empty).  The churn runtime uses this to catch a freshly inserted node
+    whose advice was never provisioned: the failure surfaces as a
+    structured :class:`InvalidAdvice` with node attribution instead of a
+    ``KeyError`` leaking out of whichever decoder touches the hole first.
     """
     members = set(graph.nodes())
     for v in advice:
         if v not in members:
             raise AdviceError(f"advice key {v!r} is not a node of the graph", node=v)
+    if complete:
+        for v in members:
+            if v not in advice:
+                raise InvalidAdvice(f"node {v!r} has no advice entry", node=v)
     for v in members:
         bits = advice.get(v, "")
         if any(b not in "01" for b in bits):
@@ -300,6 +312,28 @@ class AdviceSchema(abc.ABC):
         must stay radius-bounded so repair remains a local operation.
         Return the patched map, or ``None`` when the schema has no
         patch to offer (the runner then escalates).
+        """
+        return None
+
+    def repair_advice_for_mutation(
+        self,
+        graph: LocalGraph,
+        advice: Mapping[Node, str],
+        sites: Sequence[Node],
+        radius: int,
+        labeling: Optional[Mapping[Node, Label]] = None,
+    ) -> Optional[AdviceMap]:
+        """Schema-specific advice patch after a topology mutation (churn).
+
+        ``graph`` is the *post-mutation* graph, ``sites`` the surviving
+        nodes anchoring the event (edge endpoints, an inserted node and
+        its attachments, or a deleted node's former neighbors), and
+        ``labeling`` the maintained valid solution — the Section 6
+        ball/shift argument lets implementations re-derive fresh bits for
+        ``graph.ball(site, radius)`` from it, leaving all other advice
+        verbatim.  Bits may only be rewritten inside those balls.  Return
+        the patched map, or ``None`` when no patch is needed/offered (the
+        churn runner then keeps the old bits or escalates to re-encode).
         """
         return None
 

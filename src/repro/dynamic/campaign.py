@@ -1,0 +1,201 @@
+"""Seeded churn campaigns: sustain a mutation stream on flagship instances.
+
+:func:`run_churn_campaign` generates one family-preserving
+:class:`~repro.dynamic.plan.MutationPlan` per flagship instance
+(2-coloring on a grid, 3-coloring on a planted 3-colorable graph), feeds
+it through a :class:`~repro.dynamic.runner.ChurnRunner`, and asserts the
+serving invariant *after every mutation* with a whole-graph verify.
+Periodic decode checkpoints additionally re-decode the maintained advice
+from scratch — the labeling being valid is necessary but not sufficient;
+the *advice* is the serving artifact and must stay decodable too.
+
+Everything derives from the campaign seed (the ``_mix`` idiom of
+:mod:`repro.faults.campaign`), so two runs emit byte-identical
+``as_dict()`` payloads — the churn baseline pins this at zero tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..advice.schema import AdviceError, AdviceSchema
+from ..local.graph import LocalGraph
+from ..obs.churn import ChurnReport
+from ..obs.metrics import MetricsRegistry
+from .plan import ColoredChurnModel, generate_mutation_plan
+from .runner import ChurnRunner
+
+#: Instances the campaign exercises by default: the two schemas whose
+#: mutation hooks re-derive advice from the maintained labeling.
+FLAGSHIPS: Tuple[str, ...] = ("2-coloring", "3-coloring")
+
+
+def flagship_instance(
+    name: str, n: int, seed: int
+) -> Tuple[LocalGraph, AdviceSchema, ColoredChurnModel]:
+    """``(graph, schema, guard model)`` for one flagship churn instance.
+
+    The guard model's coloring doubles as the family-membership witness:
+    bipartition classes for the grid, the planted certificate (shifted to
+    ``0..k-1``) for the 3-colorable instance.
+    """
+    from ..graphs import grid, planted_three_colorable
+    from ..schemas.three_coloring import ThreeColoringSchema
+    from ..schemas.two_coloring import TwoColoringSchema
+
+    if name == "2-coloring":
+        side = max(4, int(round(n**0.5)))
+        graph = LocalGraph(grid(side, side), seed=seed)
+        return graph, TwoColoringSchema(), ColoredChurnModel(graph, k=2)
+    if name == "3-coloring":
+        raw, cert = planted_three_colorable(max(n, 40), seed=seed)
+        graph = LocalGraph(raw, seed=seed)
+        guard = {v: cert[v] - 1 for v in raw.nodes()}
+        model = ColoredChurnModel(graph, k=3, coloring=guard)
+        return graph, ThreeColoringSchema(coloring=dict(cert)), model
+    raise KeyError(f"unknown flagship {name!r}; available: {FLAGSHIPS}")
+
+
+def _refresh_certificate(schema: AdviceSchema, model: ColoredChurnModel) -> None:
+    """Keep a certificate-carrying schema's cert in step with the guard.
+
+    The 3-coloring encoder starts from a planted certificate; after churn
+    the original cert no longer covers inserted nodes, so the re-encode
+    fallback would fail spuriously.  The guard coloring *is* a maintained
+    proper coloring of the current graph — hand it over (shifted back to
+    ``1..k``).
+    """
+    if getattr(schema, "_coloring", None) is not None:
+        schema._coloring = {v: c + 1 for v, c in model.coloring.items()}
+
+
+@dataclass
+class ChurnCampaignResult:
+    """Aggregated outcome of one seeded churn campaign."""
+
+    params: Dict[str, object]
+    reports: List[ChurnReport] = field(default_factory=list)
+    checkpoints: List[Dict[str, object]] = field(default_factory=list)
+    min_local_rate: float = 0.95
+
+    @property
+    def ok(self) -> bool:
+        """Every mutation left a valid pair, every checkpoint re-decoded,
+        and every stream met the local-repair-rate floor."""
+        return (
+            all(r.all_valid for r in self.reports)
+            and all(bool(c["ok"]) for c in self.checkpoints)
+            and all(r.local_rate >= self.min_local_rate for r in self.reports)
+        )
+
+    @property
+    def totals(self) -> Dict[str, object]:
+        mutations = sum(r.mutations for r in self.reports)
+        local = sum(r.repairs_local for r in self.reports)
+        hist: Dict[int, int] = {}
+        for r in self.reports:
+            for radius, count in r.repair_radius_hist.items():
+                hist[radius] = hist.get(radius, 0) + count
+        return {
+            "mutations": mutations,
+            "repairs_local": local,
+            "reencode_fallbacks": sum(r.reencode_fallbacks for r in self.reports),
+            "failures": sum(r.failures for r in self.reports),
+            "local_rate": round(local / mutations, 6) if mutations else 1.0,
+            "repair_radius_hist": {str(k): hist[k] for k in sorted(hist)},
+            "checkpoints": len(self.checkpoints),
+            "checkpoint_failures": sum(
+                1 for c in self.checkpoints if not c["ok"]
+            ),
+        }
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "params": dict(self.params),
+            "ok": self.ok,
+            "totals": self.totals,
+            "schemas": {r.schema_name: r.as_dict() for r in self.reports},
+            "checkpoints": list(self.checkpoints),
+        }
+
+
+def _decode_checkpoint(
+    runner: ChurnRunner, name: str, step: int
+) -> Dict[str, object]:
+    """Re-decode the maintained advice from scratch and verify it."""
+    try:
+        result = runner.schema.decode(runner.graph, dict(runner.advice))
+        ok = bool(runner.schema.check_solution(runner.graph, result.labeling))
+        detail = "" if ok else "decoded labeling invalid"
+    except AdviceError as exc:
+        ok, detail = False, f"{type(exc).__name__}: {exc}"
+    out: Dict[str, object] = {"schema": name, "step": step, "ok": ok}
+    if detail:
+        out["detail"] = detail
+    return out
+
+
+def run_churn_campaign(
+    mutations: int = 500,
+    seed: int = 0,
+    schemas: Optional[Sequence[str]] = None,
+    n: int = 64,
+    decode_every: int = 50,
+    min_local_rate: float = 0.95,
+    registry: Optional[MetricsRegistry] = None,
+    progress: Optional[Callable[[Dict[str, object]], None]] = None,
+) -> ChurnCampaignResult:
+    """Run a seeded churn campaign over the flagship instances.
+
+    Per schema: generate a ``mutations``-step family-preserving plan,
+    bootstrap a :class:`ChurnRunner`, apply the stream with
+    ``full_check=True`` (whole-graph verify after *every* mutation), and
+    re-decode the advice from scratch every ``decode_every`` steps plus
+    once at the end.  ``progress`` (if given) receives each mutation
+    record as it lands — the churn CLI uses it for a live line per step.
+    """
+    if mutations < 0:
+        raise ValueError("mutation count must be >= 0")
+    names = list(schemas) if schemas else list(FLAGSHIPS)
+    reports: List[ChurnReport] = []
+    checkpoints: List[Dict[str, object]] = []
+    for name in names:
+        graph, schema, plan_model = flagship_instance(name, n, seed)
+        plan = generate_mutation_plan(
+            graph, mutations, seed=seed, model=plan_model
+        )
+        # A fresh guard replays the plan step by step so the maintained
+        # coloring tracks the *current* topology (the plan generator's
+        # model already sits at the final state).
+        _, _, replay = flagship_instance(name, n, seed)
+        runner = ChurnRunner(schema, graph, registry=registry)
+        report = ChurnReport(schema_name=name, seed=seed)
+        for i, mutation in enumerate(plan.mutations):
+            replay.apply(mutation)
+            _refresh_certificate(schema, replay)
+            record = runner.apply(mutation, full_check=True)
+            report.records.append(record)
+            if progress is not None:
+                payload = record.as_dict()
+                payload["schema"] = name
+                progress(payload)
+            if decode_every and (i + 1) % decode_every == 0:
+                checkpoints.append(_decode_checkpoint(runner, name, i + 1))
+        if mutations and (not decode_every or mutations % decode_every):
+            checkpoints.append(_decode_checkpoint(runner, name, mutations))
+        reports.append(report)
+    params = {
+        "mutations": mutations,
+        "seed": seed,
+        "schemas": names,
+        "n": n,
+        "decode_every": decode_every,
+        "min_local_rate": min_local_rate,
+    }
+    return ChurnCampaignResult(
+        params=params,
+        reports=reports,
+        checkpoints=checkpoints,
+        min_local_rate=min_local_rate,
+    )

@@ -1,0 +1,353 @@
+"""Deterministic mutation plans for the churn runtime.
+
+A :class:`MutationPlan` is the churn analogue of
+:class:`repro.faults.FaultPlan`: pure frozen data describing *what*
+changes — edge inserts/deletes, node inserts (with incident edges) and
+node deletes — in a fixed order, so a campaign replays bit-for-bit.
+
+Plans are produced by :func:`generate_mutation_plan`, which simulates the
+stream on a scratch copy of the graph under a *family-preserving guard*
+(:class:`ColoredChurnModel`): a maintained proper ``k``-coloring witnesses
+that every generated mutation keeps the instance inside the schema's
+promise class (bipartite for the 2-coloring schema, 3-colorable for the
+3-coloring schema, ...).  Edge inserts are additionally restricted to
+bounded-distance endpoints, which is what makes every mutation a *local*
+event in the Section 6 ball/shift sense.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..local.graph import LocalGraph
+
+Node = Hashable
+
+#: The four mutation kinds of the churn model, in canonical order.
+MUTATION_KINDS: Tuple[str, ...] = (
+    "edge-insert",
+    "edge-delete",
+    "node-insert",
+    "node-delete",
+)
+
+
+class MutationPlanError(ValueError):
+    """Raised for malformed mutations or infeasible plan generation."""
+
+
+def _mix(*parts: object) -> int:
+    """Stable integer from a tuple of ints/strings (seeds sub-RNGs)."""
+    return zlib.crc32(repr(parts).encode("utf-8"))
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One validated topology change.
+
+    ``edge-insert`` / ``edge-delete`` use ``u``/``v``; ``node-insert``
+    uses ``node`` plus the ``neighbors`` it attaches to; ``node-delete``
+    uses ``node`` (``neighbors`` records the incident edges the generator
+    saw, as documentation — the runner re-reads them at apply time).
+    """
+
+    kind: str
+    u: Optional[Node] = None
+    v: Optional[Node] = None
+    node: Optional[Node] = None
+    neighbors: Tuple[Node, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.kind not in MUTATION_KINDS:
+            raise MutationPlanError(
+                f"unknown mutation kind {self.kind!r}; expected one of {MUTATION_KINDS}"
+            )
+        if self.kind in ("edge-insert", "edge-delete"):
+            if self.u is None or self.v is None or self.u == self.v:
+                raise MutationPlanError(f"{self.kind} needs two distinct endpoints")
+        else:
+            if self.node is None:
+                raise MutationPlanError(f"{self.kind} needs a target node")
+            if self.kind == "node-insert":
+                attach = self.neighbors
+                if not attach or len(set(attach)) != len(attach) or self.node in attach:
+                    raise MutationPlanError(
+                        "node-insert needs a non-empty set of distinct attachment "
+                        "nodes not containing the new node"
+                    )
+
+    def describe(self) -> Dict[str, object]:
+        """Deterministic JSON-friendly summary."""
+        out: Dict[str, object] = {"kind": self.kind}
+        if self.kind in ("edge-insert", "edge-delete"):
+            out["edge"] = [repr(self.u), repr(self.v)]
+        else:
+            out["node"] = repr(self.node)
+            if self.neighbors:
+                out["neighbors"] = [repr(x) for x in self.neighbors]
+        return out
+
+
+@dataclass(frozen=True)
+class MutationPlan:
+    """A seeded, concrete, ordered mutation stream (pure frozen data)."""
+
+    seed: int = 0
+    mutations: Tuple[Mutation, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        for m in self.mutations:
+            if not isinstance(m, Mutation):
+                raise MutationPlanError(f"plan entries must be Mutation, got {m!r}")
+
+    def __len__(self) -> int:
+        return len(self.mutations)
+
+    def counts(self) -> Dict[str, int]:
+        out = {kind: 0 for kind in MUTATION_KINDS}
+        for m in self.mutations:
+            out[m.kind] += 1
+        return out
+
+    def describe(self) -> Dict[str, object]:
+        """Deterministic JSON-friendly summary (for reports/baselines)."""
+        return {
+            "seed": self.seed,
+            "mutations": len(self.mutations),
+            "counts": self.counts(),
+        }
+
+
+class ColoredChurnModel:
+    """Family-preserving mutation guard over a scratch copy of the graph.
+
+    Maintains a proper ``k``-coloring of the scratch graph as the
+    invariant witness:
+
+    - ``edge-insert`` only between differently colored nodes within hop
+      distance ``insert_radius`` (locality of the mutation event);
+    - ``node-insert`` only attaching to nodes that leave the new node a
+      free color (for ``k = 2``: all attachments in one bipartition
+      class) and whose degree stays below the original ``Delta`` (so
+      every ``Delta``-derived schema parameter is stable under churn);
+    - deletions are always family-preserving.
+
+    With ``k = 2`` this is exactly the bipartite guard used for the
+    2-coloring flagship; the coloring is computed by BFS when omitted.
+    """
+
+    def __init__(
+        self,
+        graph: LocalGraph,
+        k: int = 2,
+        coloring: Optional[Dict[Node, int]] = None,
+        insert_radius: int = 6,
+    ) -> None:
+        if k < 2:
+            raise MutationPlanError("guard coloring needs k >= 2")
+        self.k = int(k)
+        self.insert_radius = int(insert_radius)
+        self.degree_cap = max(graph.max_degree, 2)
+        self.scratch = graph.graph.copy()
+        self._order: List[Node] = sorted(graph.nodes(), key=graph.id_of)
+        names = [v for v in self._order if isinstance(v, int)]
+        self._next_name = (max(names) + 1) if names else graph.n
+        if coloring is None:
+            coloring = self._bfs_coloring()
+        self.coloring: Dict[Node, int] = dict(coloring)
+        self._check_proper()
+
+    def _bfs_coloring(self) -> Dict[Node, int]:
+        if self.k != 2:
+            raise MutationPlanError("automatic guard coloring only supports k=2 (BFS bipartition)")
+        color: Dict[Node, int] = {}
+        for root in self._order:
+            if root in color:
+                continue
+            color[root] = 0
+            frontier = [root]
+            while frontier:
+                nxt: List[Node] = []
+                for v in frontier:
+                    for u in self.scratch.neighbors(v):
+                        if u not in color:
+                            color[u] = 1 - color[v]
+                            nxt.append(u)
+                frontier = nxt
+        return color
+
+    def _check_proper(self) -> None:
+        for u, v in self.scratch.edges():
+            if self.coloring.get(u) == self.coloring.get(v):
+                raise MutationPlanError(
+                    f"guard coloring is not proper at edge {u!r}-{v!r}"
+                )
+
+    # -- proposal helpers ----------------------------------------------------
+
+    def _ball(self, root: Node, radius: int) -> List[Node]:
+        seen = {root}
+        frontier = [root]
+        out = [root]
+        for _ in range(radius):
+            nxt: List[Node] = []
+            for v in frontier:
+                for u in self.scratch.neighbors(v):
+                    if u not in seen:
+                        seen.add(u)
+                        nxt.append(u)
+                        out.append(u)
+            frontier = nxt
+        return out
+
+    def _propose_edge_insert(self, rng: random.Random) -> Optional[Mutation]:
+        for _ in range(8):
+            u = self._order[rng.randrange(len(self._order))]
+            candidates = [
+                w
+                for w in self._ball(u, self.insert_radius)
+                if w != u
+                and not self.scratch.has_edge(u, w)
+                and self.coloring[w] != self.coloring[u]
+                and self.scratch.degree(u) < self.degree_cap
+                and self.scratch.degree(w) < self.degree_cap
+            ]
+            if candidates:
+                w = sorted(candidates)[rng.randrange(len(candidates))]
+                self.scratch.add_edge(u, w)
+                return Mutation("edge-insert", u=u, v=w)
+        return None
+
+    def _propose_edge_delete(self, rng: random.Random) -> Optional[Mutation]:
+        m = self.scratch.number_of_edges()
+        if m == 0:
+            return None
+        edges = sorted(tuple(sorted(e)) for e in self.scratch.edges())
+        u, v = edges[rng.randrange(len(edges))]
+        self.scratch.remove_edge(u, v)
+        return Mutation("edge-delete", u=u, v=v)
+
+    def _propose_node_insert(self, rng: random.Random) -> Optional[Mutation]:
+        for _ in range(8):
+            u = self._order[rng.randrange(len(self._order))]
+            # Attachments near u that leave the new node a free color and
+            # whose degree stays below the original Delta.
+            nearby = [
+                w
+                for w in self._ball(u, 2)
+                if self.scratch.degree(w) < self.degree_cap
+            ]
+            if not nearby:
+                continue
+            anchor = sorted(nearby)[rng.randrange(len(nearby))]
+            cls = self.coloring[anchor]
+            pool = sorted(w for w in nearby if self.coloring[w] == cls and w != anchor)
+            extra = [w for w in pool if not rng.randrange(3)][:2]
+            attach = tuple([anchor] + extra)
+            free = min(c for c in range(self.k) if c != cls)
+            name = self._next_name
+            self._next_name += 1
+            self.scratch.add_node(name)
+            for w in attach:
+                self.scratch.add_edge(name, w)
+            self.coloring[name] = free
+            self._order.append(name)
+            return Mutation("node-insert", node=name, neighbors=attach)
+        return None
+
+    def _propose_node_delete(self, rng: random.Random) -> Optional[Mutation]:
+        if len(self._order) <= 4:
+            return None
+        v = self._order[rng.randrange(len(self._order))]
+        dropped = tuple(sorted(self.scratch.neighbors(v)))
+        self.scratch.remove_node(v)
+        self._order.remove(v)
+        del self.coloring[v]
+        return Mutation("node-delete", node=v, neighbors=dropped)
+
+    def propose(self, kind: str, rng: random.Random) -> Optional[Mutation]:
+        """Propose (and apply to the scratch copy) one mutation of ``kind``."""
+        return {
+            "edge-insert": self._propose_edge_insert,
+            "edge-delete": self._propose_edge_delete,
+            "node-insert": self._propose_node_insert,
+            "node-delete": self._propose_node_delete,
+        }[kind](rng)
+
+    def apply(self, mutation: Mutation) -> None:
+        """Replay an externally supplied mutation on the scratch state.
+
+        Campaigns use this on a *fresh* model to track the maintained
+        coloring step by step while a :class:`MutationPlan` generated
+        elsewhere is applied — e.g. to refresh a 3-coloring certificate
+        before the runner's re-encode fallback needs it.
+        """
+        if mutation.kind == "edge-insert":
+            self.scratch.add_edge(mutation.u, mutation.v)
+        elif mutation.kind == "edge-delete":
+            self.scratch.remove_edge(mutation.u, mutation.v)
+        elif mutation.kind == "node-insert":
+            name = mutation.node
+            self.scratch.add_node(name)
+            taken = set()
+            for w in mutation.neighbors:
+                self.scratch.add_edge(name, w)
+                taken.add(self.coloring.get(w))
+            free = [c for c in range(self.k) if c not in taken]
+            if not free:
+                raise MutationPlanError(
+                    f"node-insert {name!r} leaves no free guard color"
+                )
+            self.coloring[name] = free[0]
+            self._order.append(name)
+            if isinstance(name, int) and name >= self._next_name:
+                self._next_name = name + 1
+        else:  # node-delete
+            v = mutation.node
+            self.scratch.remove_node(v)
+            self._order.remove(v)
+            del self.coloring[v]
+        self._check_proper()
+
+
+def generate_mutation_plan(
+    graph: LocalGraph,
+    mutations: int,
+    seed: int = 0,
+    model: Optional[ColoredChurnModel] = None,
+    kinds: Sequence[str] = MUTATION_KINDS,
+) -> MutationPlan:
+    """A seeded family-preserving plan of ``mutations`` topology changes.
+
+    Each step draws its own RNG keyed on ``(seed, "churn", i)`` (the
+    :class:`FaultPlan` idiom), so the stream is bit-reproducible and
+    insensitive to iteration-order changes elsewhere.  Kinds are tried in
+    a seeded preference order; a step falls back to the next kind when the
+    guard finds no valid proposal.
+    """
+    if mutations < 0:
+        raise MutationPlanError("mutation count must be >= 0")
+    for kind in kinds:
+        if kind not in MUTATION_KINDS:
+            raise MutationPlanError(f"unknown mutation kind {kind!r}")
+    if model is None:
+        model = ColoredChurnModel(graph)
+    out: List[Mutation] = []
+    for i in range(mutations):
+        rng = random.Random(_mix(seed, "churn", i))
+        order = list(kinds)
+        rng.shuffle(order)
+        proposal: Optional[Mutation] = None
+        for kind in order:
+            proposal = model.propose(kind, rng)
+            if proposal is not None:
+                break
+        if proposal is None:
+            raise MutationPlanError(
+                f"no feasible mutation at step {i} (graph too small for plan?)"
+            )
+        out.append(proposal)
+    return MutationPlan(seed=seed, mutations=tuple(out))

@@ -140,6 +140,13 @@ class RobustRunner:
     max_solver_steps:
         Backtracking budget per ball re-solve (budget exhaustion counts
         as a failed attempt at that radius, not an error).
+    escalate_budget / backoff_base:
+        The global fallback retries at most ``escalate_budget`` times; a
+        failed attempt ``k`` records a deterministic logical backoff of
+        ``backoff_base ** (k - 1)`` ticks (recorded, never slept — runs
+        stay bit-reproducible).  An exhausted budget is a clean give-up:
+        the report carries ``gave_up=True`` and summarizes as
+        ``"gave-up"`` instead of looping on an unhealable run.
     """
 
     def __init__(
@@ -150,15 +157,23 @@ class RobustRunner:
         refetch_radii: Sequence[int] = (2, 4, 8, 16, 32, 64),
         max_decode_attempts: int = 16,
         max_solver_steps: int = 200_000,
+        escalate_budget: int = 3,
+        backoff_base: int = 2,
         tracer: Optional[Tracer] = None,
         registry: Optional[MetricsRegistry] = None,
     ) -> None:
+        if escalate_budget < 1:
+            raise ValueError("escalate_budget must be >= 1")
+        if backoff_base < 1:
+            raise ValueError("backoff_base must be >= 1")
         self.schema = schema
         self.max_ball_radius = max_ball_radius
         self.patch_radii = tuple(patch_radii)
         self.refetch_radii = tuple(refetch_radii)
         self.max_decode_attempts = max_decode_attempts
         self.max_solver_steps = max_solver_steps
+        self.escalate_budget = escalate_budget
+        self.backoff_base = backoff_base
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.registry = registry if registry is not None else MetricsRegistry()
 
@@ -548,13 +563,56 @@ class RobustRunner:
         clean: Mapping[Node, str],
         report: RobustnessReport,
     ) -> Tuple[Dict[Node, Label], bool]:
+        """Fresh decode of the clean advice, bounded by the retry budget.
+
+        Escalation no longer assumes eventual success: each attempt that
+        errors or yields an invalid labeling burns one unit of the budget
+        and records its deterministic logical backoff; exhausting the
+        budget gives up cleanly (``report.gave_up``).
+        """
         report.escalated = True
-        with self.tracer.span("repair", kind=GLOBAL_RESOLVE):
-            result = self.schema.decode(
-                graph, {v: clean.get(v, "") for v in graph.nodes()}
+        fresh = {v: clean.get(v, "") for v in graph.nodes()}
+        labeling: Dict[Node, Label] = {}
+        for attempt in range(1, self.escalate_budget + 1):
+            backoff = self.backoff_base ** (attempt - 1)
+            try:
+                with self.tracer.span(
+                    "repair", kind=GLOBAL_RESOLVE, attempt=attempt
+                ):
+                    result = self.schema.decode(graph, fresh)
+            except AdviceError as exc:
+                report.actions.append(
+                    RepairAction(
+                        GLOBAL_RESOLVE,
+                        None,
+                        -1,
+                        success=False,
+                        detail=(
+                            f"verify attempt {attempt}/{self.escalate_budget}"
+                            f" raised {type(exc).__name__}; backoff {backoff}"
+                        ),
+                    )
+                )
+                continue
+            labeling = dict(result.labeling)
+            if self._valid(graph, labeling):
+                report.actions.append(
+                    RepairAction(
+                        GLOBAL_RESOLVE, None, -1, success=True, detail="verify"
+                    )
+                )
+                return labeling, True
+            report.actions.append(
+                RepairAction(
+                    GLOBAL_RESOLVE,
+                    None,
+                    -1,
+                    success=False,
+                    detail=(
+                        f"verify attempt {attempt}/{self.escalate_budget}"
+                        f" decoded invalid; backoff {backoff}"
+                    ),
+                )
             )
-        labeling = dict(result.labeling)
-        report.actions.append(
-            RepairAction(GLOBAL_RESOLVE, None, -1, success=True, detail="verify")
-        )
-        return labeling, self._valid(graph, labeling)
+        report.gave_up = True
+        return labeling, False

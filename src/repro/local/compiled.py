@@ -55,6 +55,7 @@ class CompiledGraph:
         "nbr_ids",
         "degrees",
         "max_degree",
+        "epoch",
         "_dist",
         "_np_csr",
         "_np_csr32",
@@ -90,6 +91,10 @@ class CompiledGraph:
         self.m = len(indices) // 2
         self.degrees: List[int] = [indptr[i + 1] - indptr[i] for i in range(n)]
         self.max_degree: int = max(self.degrees, default=0)
+        # Mutation epoch of the source graph this snapshot was compiled at.
+        # LocalGraph.compiled compares it against its own counter and
+        # recompiles after churn, so holders never see a stale CSR.
+        self.epoch: int = 0
         # BFS scratch: -1 means "unvisited"; reset_scratch restores it.
         # This default scratch belongs to the serial sweep loop ONLY —
         # concurrent sweeps (batched/parallel engines, threads) must bring
@@ -108,11 +113,13 @@ class CompiledGraph:
     def from_local(cls, graph: "LocalGraph") -> "CompiledGraph":  # noqa: F821
         """Snapshot a :class:`repro.local.graph.LocalGraph`."""
         nx_graph = graph.graph
-        return cls(
+        compiled = cls(
             graph.nodes(),
             graph.ids(),
             {v: list(nx_graph.neighbors(v)) for v in nx_graph.nodes()},
         )
+        compiled.epoch = graph.epoch
+        return compiled
 
     # -- index-level primitives (hot paths work on ints only) -----------------
 

@@ -64,6 +64,7 @@ class LocalGraph:
             raise LocalGraphError("LocalGraph rejects self-loops")
 
         self._graph = graph
+        self._epoch: int = 0
         self._nodes: List[Node] = list(graph.nodes())
         if ids is None:
             order = list(self._nodes)
@@ -75,7 +76,8 @@ class LocalGraph:
         self._node_of: Dict[int, Node] = {i: v for v, i in self._id_of.items()}
         self._inputs: Dict[Node, object] = dict(inputs) if inputs else {}
         # Degrees and Delta are read inside inner simulation loops; compute
-        # them once here (the wrapped graph is treated as immutable).
+        # them once here (the wrapped graph only changes through the mutator
+        # API below, which keeps this bookkeeping in sync).
         self._degrees: Dict[Node, int] = {v: graph.degree(v) for v in self._nodes}
         self._max_degree: int = max(self._degrees.values(), default=0)
         self._compiled: Optional[CompiledGraph] = None
@@ -117,14 +119,25 @@ class LocalGraph:
         return self._graph
 
     @property
+    def epoch(self) -> int:
+        """Monotone mutation counter; bumped by every topology change.
+
+        Snapshot consumers (:class:`CompiledGraph` holders, memoized views)
+        compare their recorded epoch against this to detect staleness.
+        """
+        return self._epoch
+
+    @property
     def compiled(self) -> CompiledGraph:
         """The CSR backend (built lazily on first adjacency query).
 
         All hot-path accessors (:meth:`neighbors`, :meth:`port_of`,
-        :meth:`ball`, :meth:`bfs_layers`, ...) route through this snapshot;
-        it assumes the wrapped networkx graph is not mutated afterwards.
+        :meth:`ball`, :meth:`bfs_layers`, ...) route through this snapshot.
+        The snapshot is stamped with the graph's mutation :attr:`epoch`; any
+        mutation through the mutator API drops it and a fresh one is compiled
+        on the next adjacency query, so a stale CSR is never served.
         """
-        if self._compiled is None:
+        if self._compiled is None or self._compiled.epoch != self._epoch:
             self._compiled = CompiledGraph.from_local(self)
         return self._compiled
 
@@ -164,6 +177,103 @@ class LocalGraph:
 
     def has_edge(self, u: Node, v: Node) -> bool:
         return self._graph.has_edge(u, v)
+
+    # -- mutation (churn) ------------------------------------------------------
+
+    def _invalidate(self) -> None:
+        """Bump the epoch and drop every topology-derived cache.
+
+        The compiled CSR snapshot is dropped wholesale (its ``_np_csr`` /
+        ``_np_csr32`` / ``_np_flood`` engine caches die with it) and the
+        bounded-LRU ball cache is cleared; both rebuild lazily on the next
+        query against the post-mutation topology.
+        """
+        self._epoch += 1
+        self._compiled = None
+        self._ball_cache.clear()
+
+    def add_edge(self, u: Node, v: Node) -> None:
+        """Insert the edge ``{u, v}`` between two existing nodes."""
+        if u == v:
+            raise LocalGraphError("LocalGraph rejects self-loops")
+        if u not in self._id_of or v not in self._id_of:
+            missing = u if u not in self._id_of else v
+            raise LocalGraphError(f"cannot add edge at unknown node {missing!r}")
+        if self._graph.has_edge(u, v):
+            raise LocalGraphError(f"edge {u!r}-{v!r} already present")
+        self._graph.add_edge(u, v)
+        self._degrees[u] += 1
+        self._degrees[v] += 1
+        self._max_degree = max(self._max_degree, self._degrees[u], self._degrees[v])
+        self._invalidate()
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Delete the edge ``{u, v}``."""
+        if not self._graph.has_edge(u, v):
+            raise LocalGraphError(f"edge {u!r}-{v!r} not present")
+        self._graph.remove_edge(u, v)
+        old_u, old_v = self._degrees[u], self._degrees[v]
+        self._degrees[u] -= 1
+        self._degrees[v] -= 1
+        if max(old_u, old_v) == self._max_degree:
+            self._max_degree = max(self._degrees.values(), default=0)
+        self._invalidate()
+
+    def add_node(
+        self,
+        v: Node,
+        neighbors: Iterable[Node] = (),
+        node_id: Optional[int] = None,
+        input: Optional[object] = None,
+    ) -> None:
+        """Insert node ``v`` (with optional incident edges to existing nodes).
+
+        The identifier defaults to ``max(existing ids) + 1`` so insertion
+        order alone determines the id assignment (bit-reproducible plans).
+        """
+        if v in self._id_of:
+            raise LocalGraphError(f"node {v!r} already present")
+        attach = list(neighbors)
+        for u in attach:
+            if u not in self._id_of:
+                raise LocalGraphError(f"cannot attach new node to unknown node {u!r}")
+        if len(set(attach)) != len(attach) or v in attach:
+            raise LocalGraphError("attachment list must be distinct existing nodes")
+        if node_id is None:
+            node_id = max(self._node_of, default=0) + 1
+        node_id = int(node_id)
+        if node_id < 1 or node_id in self._node_of:
+            raise LocalGraphError(f"identifier {node_id} is not a fresh positive integer")
+        self._graph.add_node(v)
+        self._nodes.append(v)
+        self._id_of[v] = node_id
+        self._node_of[node_id] = v
+        self._degrees[v] = 0
+        if input is not None:
+            self._inputs[v] = input
+        self._ball_cache_limit = max(self._ball_cache_limit, 4 * len(self._nodes))
+        self._invalidate()
+        for u in attach:
+            self.add_edge(v, u)
+
+    def remove_node(self, v: Node) -> List[Node]:
+        """Delete node ``v`` with its incident edges; return its old neighbors."""
+        if v not in self._id_of:
+            raise LocalGraphError(f"node {v!r} not present")
+        dropped = list(self._graph.neighbors(v))
+        self._graph.remove_node(v)
+        self._nodes.remove(v)
+        del self._node_of[self._id_of.pop(v)]
+        old_degree = self._degrees.pop(v)
+        self._inputs.pop(v, None)
+        for u in dropped:
+            self._degrees[u] -= 1
+        if old_degree == self._max_degree or any(
+            self._degrees[u] + 1 == self._max_degree for u in dropped
+        ):
+            self._max_degree = max(self._degrees.values(), default=0)
+        self._invalidate()
+        return dropped
 
     # -- ports -----------------------------------------------------------------
 

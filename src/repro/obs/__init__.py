@@ -17,6 +17,8 @@ Three pieces, designed to stay out of the hot path until asked for:
   aggregated ``BandwidthProfile`` every schema run carries.
 * :mod:`repro.obs.robustness` — ``RobustnessReport``/``RepairAction``
   records emitted by the self-healing runner (:mod:`repro.faults`).
+* :mod:`repro.obs.churn` — ``ChurnReport``/``MutationRecord`` records
+  emitted by the dynamic churn runtime (:mod:`repro.dynamic`).
 * :mod:`repro.obs.profile` — ``WorkProfile`` span-tree work attribution
   (collapsed stacks, critical path, telemetry reconciliation).
 * :mod:`repro.obs.diff` — run-over-run telemetry/profile diffing under
@@ -55,6 +57,7 @@ from .failure import (
     build_violation_reports,
     view_fingerprint,
 )
+from .churn import ChurnReport, MutationRecord
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .profile import WorkProfile, parse_collapsed, profile_run
 from .report import build_provenance, collect_report, render_markdown
@@ -79,6 +82,7 @@ __all__ = [
     "BandwidthPolicy",
     "BandwidthProfile",
     "CONGEST",
+    "ChurnReport",
     "Counter",
     "DETERMINISTIC_TOLERANCES",
     "FailureReport",
@@ -90,6 +94,7 @@ __all__ = [
     "LogicalClock",
     "MetricDelta",
     "MetricsRegistry",
+    "MutationRecord",
     "NULL_TRACER",
     "NullTracer",
     "RepairAction",

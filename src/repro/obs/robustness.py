@@ -74,6 +74,8 @@ class RobustnessReport:
     actions: List[RepairAction] = field(default_factory=list)
     #: the run fell back to a global re-solve.
     escalated: bool = False
+    #: the global fallback itself exhausted its retry budget.
+    gave_up: bool = False
     final_valid: bool = False
 
     @property
@@ -115,6 +117,7 @@ class RobustnessReport:
             "locally_repaired": self.locally_repaired,
             "repaired_locally": self.repaired_locally,
             "escalated": self.escalated,
+            "gave_up": self.gave_up,
             "repair_radius_hist": {
                 str(r): c for r, c in self.repair_radius_hist.items()
             },
@@ -127,6 +130,8 @@ class RobustnessReport:
             status = "clean"
         elif not self.detected:
             status = "masked"
+        elif self.gave_up:
+            status = "gave-up"
         elif self.escalated:
             status = "escalated"
         elif self.final_valid:

@@ -421,6 +421,41 @@ class ThreeColoringSchema(AdviceSchema):
                 changed = True
         return patched if changed else None
 
+    def repair_advice_for_mutation(
+        self,
+        graph: LocalGraph,
+        advice: Mapping[Node, str],
+        sites: Sequence[Node],
+        radius: int,
+        labeling: Optional[Mapping[Node, int]] = None,
+    ) -> Optional[AdviceMap]:
+        """Re-sync the advice bits near a mutation to the maintained coloring.
+
+        In the type-1 regime (every ``G_{2,3}`` component below the
+        diameter threshold — all demo/churn instances), the bit of a node
+        is exactly "am I color 1": the color-1 class of a proper coloring
+        is independent, so synced bits classify as type-1 precisely there,
+        and the remaining components stay bipartite and 2-color
+        canonically.  A ball re-solve that shifted colors around the site
+        therefore only requires rewriting bits inside the repaired balls;
+        everything else decodes verbatim (the Section 6 shift argument).
+        """
+        if labeling is None:
+            return None
+        patched = dict(advice)
+        changed = False
+        seen: Set[Node] = set()
+        for s in sites:
+            for w in graph.ball(s, radius):
+                if w in seen:
+                    continue
+                seen.add(w)
+                want = "1" if labeling.get(w) == 1 else "0"
+                if patched.get(w) != want:
+                    patched[w] = want
+                    changed = True
+        return patched if changed else None
+
     def decode(self, graph: LocalGraph, advice: Mapping[Node, str]) -> DecodeResult:
         tracker = LocalityTracker(graph)
         delta = max(1, graph.max_degree)

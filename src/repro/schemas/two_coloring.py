@@ -137,6 +137,82 @@ class TwoColoringSchema(AdviceSchema):
             changed = True
         return patched if changed else None
 
+    def repair_advice_for_mutation(
+        self,
+        graph: LocalGraph,
+        advice: Mapping[Node, str],
+        sites,
+        radius: int,
+        labeling: Optional[Mapping[Node, int]] = None,
+    ) -> Optional[AdviceMap]:
+        """Re-derive the anchors near a mutation from the maintained coloring.
+
+        Two bounded passes over ``ball(site, R)`` with
+        ``R = max(radius, spacing - 1)``:
+
+        1. *Resync*: every anchor whose bit disagrees with the maintained
+           labeling is rewritten (a ball re-solve may have flipped colors
+           around the site; anchors must stay consistent with the unique
+           bipartition the labeling witnesses).
+        2. *Cover*: every node that lost its last in-range anchor (edge or
+           node deletion stretched distances; a fresh node arrived) gets
+           one planted, bit taken from the labeling.  Distances only
+           change along shortest paths through the mutation site, so any
+           node affected lies within ``spacing - 1`` of a site and both
+           passes stay radius-bounded.
+        """
+        if labeling is None:
+            return self.repair_advice(graph, advice, sites[0], radius) if sites else None
+        reach = self.spacing - 1
+        span = max(radius, reach)
+        patched = dict(advice)
+        changed = False
+        region: list = []
+        seen = set()
+        for s in sites:
+            for w in graph.ball(s, span):
+                if w not in seen:
+                    seen.add(w)
+                    region.append(w)
+        region.sort(key=graph.id_of)
+        for w in region:
+            bits = patched.get(w, "")
+            if not bits:
+                continue
+            want = "1" if labeling.get(w) == 1 else "0"
+            if bits != want:
+                patched[w] = want
+                changed = True
+        for w in region:
+            if _sees_anchor(graph, patched, w, reach):
+                continue
+            patched[w] = "1" if labeling.get(w) == 1 else "0"
+            changed = True
+        return patched if changed else None
+
+
+def _sees_anchor(
+    graph: LocalGraph, advice: Mapping[Node, str], w: Node, reach: int
+) -> bool:
+    """Early-exit BFS: is any non-empty advice bit within ``reach`` of ``w``?"""
+    if advice.get(w, ""):
+        return True
+    seen = {w}
+    frontier = [w]
+    for _ in range(reach):
+        nxt = []
+        for x in frontier:
+            for y in graph.neighbors(x):
+                if y not in seen:
+                    if advice.get(y, ""):
+                        return True
+                    seen.add(y)
+                    nxt.append(y)
+        if not nxt:
+            return False
+        frontier = nxt
+    return False
+
 
 def _nearest_anchor_color(view: View) -> int:
     """Color the view's center from the nearest advice-holding anchor.

@@ -79,6 +79,19 @@ class TestAccounting:
             validate_advice_map(g, {0: "1", 99: "0"})
         assert info.value.node == 99
 
+    def test_validate_complete_names_the_uncovered_node(self):
+        # Regression: a node missing from the map must surface as a
+        # structured InvalidAdvice attributing the node, never a KeyError
+        # leaking from whoever consumes the map downstream.
+        g = LocalGraph(path(3))
+        with pytest.raises(InvalidAdvice) as info:
+            validate_advice_map(g, {0: "1", 2: ""}, complete=True)
+        assert info.value.node == 1
+
+    def test_validate_complete_accepts_full_maps(self):
+        g = LocalGraph(path(3))
+        validate_advice_map(g, {0: "1", 1: "", 2: "0"}, complete=True)
+
     def test_truncated_packed_advice_is_invalid_not_a_crash(self):
         # Regression: a holder's packed string cut below its length header
         # used to over-read the bitstream; it must surface as InvalidAdvice

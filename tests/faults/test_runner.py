@@ -111,8 +111,58 @@ class TestEscalation:
         assert report.detected
         assert report.escalated
         assert report.final_valid
+        assert not report.gave_up
         assert any(a.kind == GLOBAL_RESOLVE for a in report.actions)
         assert not report.repaired_locally
+
+    def test_exhausted_budget_gives_up_cleanly(self):
+        # A schema whose decode always lands on an unsatisfiable problem:
+        # every ball re-solve fails and every escalation attempt decodes
+        # invalid, so the budget must bound the retries and end in a
+        # recorded give-up, not a loop or a leaked exception.
+        from repro.advice import FunctionSchema
+        from repro.advice.schema import DecodeResult
+        from repro.graphs import path
+        from repro.lcl import vertex_coloring
+        from repro.local import LocalGraph
+
+        graph = LocalGraph(path(4))
+        schema = FunctionSchema(
+            "unsat-1col",
+            lambda g: {v: "" for v in g.nodes()},
+            lambda g, advice: DecodeResult(
+                labeling={v: 1 for v in g.nodes()}, rounds=0
+            ),
+            vertex_coloring(1),
+        )
+        crippled = RobustRunner(
+            schema,
+            patch_radii=(),
+            refetch_radii=(),
+            max_ball_radius=1,
+            escalate_budget=2,
+            backoff_base=3,
+        )
+        run = crippled.run(graph)
+        report = run.robustness
+        assert report.detected
+        assert report.escalated
+        assert report.gave_up
+        assert not run.valid
+        assert not report.final_valid
+        globals_ = [a for a in report.actions if a.kind == GLOBAL_RESOLVE]
+        assert len(globals_) == 2
+        assert not any(a.success for a in globals_)
+        # Deterministic logical backoff is recorded per attempt: 3**0, 3**1.
+        assert "backoff 1" in globals_[0].detail
+        assert "backoff 3" in globals_[1].detail
+        assert report.as_dict()["gave_up"] is True
+        assert "gave-up" in report.summary()
+
+    def test_escalate_budget_must_be_positive(self):
+        graph, schema = _setup()
+        with pytest.raises(ValueError):
+            RobustRunner(schema, escalate_budget=0)
 
 
 class TestApiIntegration:

@@ -1,0 +1,157 @@
+"""Mutation API of :class:`LocalGraph` and epoch-based cache invalidation.
+
+The churn runtime (PR 9) mutates a live graph in place.  Every
+topology-derived cache — the compiled CSR snapshot with its vectorized
+``_np_csr32`` / ``_np_flood`` sidecars, the bounded-LRU ball cache, and
+memoized views gathered from the old topology — must be invalidated the
+moment an edge flips, or the decoder would be served stale neighborhoods.
+"""
+
+import pytest
+
+from repro.graphs import cycle, grid
+from repro.local.graph import LocalGraph, LocalGraphError
+from repro.local.views import gather_view
+
+
+def _fresh(n: int = 8) -> LocalGraph:
+    return LocalGraph(cycle(n))
+
+
+class TestMutators:
+    def test_add_edge_updates_adjacency_and_degrees(self):
+        g = _fresh()
+        g.add_edge(0, 4)
+        assert g.has_edge(0, 4)
+        assert g.degree(0) == 3 and g.degree(4) == 3
+        assert g.max_degree == 3
+        assert g.m == 9
+
+    def test_remove_edge_updates_adjacency_and_degrees(self):
+        g = _fresh()
+        g.remove_edge(0, 1)
+        assert not g.has_edge(0, 1)
+        assert g.degree(0) == 1 and g.degree(1) == 1
+        assert g.max_degree == 2
+        assert g.m == 7
+
+    def test_remove_edge_recomputes_max_degree(self):
+        g = LocalGraph(grid(3, 3))
+        center = 4  # the unique degree-4 node of a 3x3 grid
+        assert g.max_degree == 4
+        before = g.neighbors(center)[0]
+        g.remove_edge(center, before)
+        assert g.max_degree == 3
+
+    def test_add_node_with_attachments(self):
+        g = _fresh()
+        old_ids = set(g.ids().values())
+        g.add_node(99, neighbors=[0, 2])
+        assert g.n == 9
+        assert g.has_edge(99, 0) and g.has_edge(99, 2)
+        assert g.degree(99) == 2
+        new_id = g.id_of(99)
+        assert new_id == max(old_ids) + 1
+        assert g.node_of(new_id) == 99
+
+    def test_remove_node_returns_old_neighbors(self):
+        g = _fresh()
+        dropped = g.remove_node(3)
+        assert sorted(dropped) == [2, 4]
+        assert g.n == 7
+        assert 3 not in g.nodes()
+        assert g.degree(2) == 1 and g.degree(4) == 1
+        with pytest.raises(KeyError):
+            g.id_of(3)
+
+    def test_remove_node_recomputes_max_degree(self):
+        g = LocalGraph(grid(3, 3))
+        g.remove_node(4)  # drop the unique degree-4 center
+        assert g.max_degree == 2
+
+    def test_mutator_validation(self):
+        g = _fresh()
+        with pytest.raises(LocalGraphError):
+            g.add_edge(0, 0)
+        with pytest.raises(LocalGraphError):
+            g.add_edge(0, 1)  # already present
+        with pytest.raises(LocalGraphError):
+            g.add_edge(0, 123)  # unknown endpoint
+        with pytest.raises(LocalGraphError):
+            g.remove_edge(0, 4)  # not present
+        with pytest.raises(LocalGraphError):
+            g.add_node(0)  # already present
+        with pytest.raises(LocalGraphError):
+            g.add_node(50, neighbors=[77])  # unknown attachment
+        with pytest.raises(LocalGraphError):
+            g.add_node(50, node_id=g.id_of(0))  # duplicate identifier
+        with pytest.raises(LocalGraphError):
+            g.remove_node(123)
+
+
+class TestEpochInvalidation:
+    def test_epoch_bumps_on_every_mutation(self):
+        g = _fresh()
+        assert g.epoch == 0
+        g.add_edge(0, 4)
+        g.remove_edge(0, 4)
+        g.add_node(99, neighbors=[0])  # node + edge: two bumps
+        g.remove_node(99)
+        assert g.epoch == 5
+
+    def test_compiled_snapshot_is_recompiled_after_mutation(self):
+        g = _fresh()
+        before = g.compiled
+        assert before.epoch == 0
+        g.add_edge(0, 4)
+        after = g.compiled
+        assert after is not before
+        assert after.epoch == g.epoch
+        # The stale snapshot keeps its old stamp — holders can detect it.
+        assert before.epoch != g.epoch
+        assert after.degrees[after.index_of[0]] == 3
+
+    def test_stale_ball_cache_never_served_after_edge_flip(self):
+        g = _fresh(8)
+        assert sorted(g.ball(0, 1)) == [0, 1, 7]  # populate the LRU
+        g.add_edge(0, 4)
+        assert sorted(g.ball(0, 1)) == [0, 1, 4, 7]
+        g.remove_edge(0, 4)
+        assert sorted(g.ball(0, 1)) == [0, 1, 7]
+
+    def test_stale_view_never_served_after_edge_flip(self):
+        g = _fresh(8)
+        before = gather_view(g, 0, radius=1)
+        g.add_edge(0, 4)
+        after = gather_view(g, 0, radius=1)
+        assert before.order_signature() != after.order_signature()
+        assert set(after.nodes) == {0, 1, 4, 7}
+        # Distinct signatures keep the two epochs apart in any decode memo
+        # keyed on order_signature().
+        g.remove_edge(0, 4)
+        again = gather_view(g, 0, radius=1)
+        assert again.order_signature() == before.order_signature()
+
+    def test_vectorized_csr32_cache_dropped_on_mutation(self):
+        numpy = pytest.importorskip("numpy")  # noqa: F841
+        from repro.local.vectorized import _csr_arrays
+
+        g = _fresh(8)
+        _csr_arrays(g.compiled)
+        assert g.compiled._np_csr32 is not None
+        g.add_edge(0, 4)
+        assert g.compiled._np_csr32 is None  # fresh snapshot, cache dies with old CSR
+        indptr, indices, ids = _csr_arrays(g.compiled)
+        assert int(indptr[-1]) == 2 * g.m
+
+    def test_flood_cache_dropped_on_mutation(self):
+        numpy = pytest.importorskip("numpy")  # noqa: F841
+        from repro.obs.bandwidth import _flood_state
+
+        g = _fresh(8)
+        _flood_state(g.compiled)
+        assert g.compiled._np_flood is not None
+        g.add_edge(0, 4)
+        assert g.compiled._np_flood is None  # cache died with the stale CSR
+        state = _flood_state(g.compiled)
+        assert float(state["adj"][g.compiled.index_of[0], g.compiled.index_of[4]]) == 1.0
