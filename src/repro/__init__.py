@@ -20,6 +20,7 @@ from .core.api import (
     compress_edges,
     decompress_edges,
     make_schema,
+    make_service,
     solve_with_advice,
 )
 from .dynamic import ChurnRunner, MutationPlan, generate_mutation_plan, run_churn_campaign
@@ -63,6 +64,7 @@ __all__ = [
     "decompress_edges",
     "generate_mutation_plan",
     "make_schema",
+    "make_service",
     "run_campaign",
     "run_churn_campaign",
     "solve_with_advice",

@@ -51,6 +51,15 @@ locality certifier (:mod:`repro.analysis.locality`): every schema's
 declared ``LocalityContract`` must equal the static upper bounds on
 ``(T, beta)`` and dominate a dynamic tight-witness run; exits non-zero
 on any LOC101/LOC102/LOC103 finding.
+
+``python -m repro serve-bench [--sides 64,128,256] [--queries N]
+[--verify] [--out FILE]`` runs the open-loop serving load generator
+(:mod:`repro.serve`): one :class:`~repro.serve.AdviceService` per grid
+size answers a seeded query stream from per-node radius-``T`` ball
+gathers, reporting p50/p95/p99 per-query latency vs n at fixed Δ; exits
+non-zero when per-query work is not flat across sizes, when per-tenant /
+sampling counters fail to reconcile, or (with ``--verify``) when any
+served answer differs from a cold full-graph decode.
 """
 
 from __future__ import annotations
@@ -482,6 +491,10 @@ def main(argv: Optional[list] = None) -> int:
         from .analysis.locality import certify_main
 
         return certify_main(argv[1:])
+    if argv and argv[0] == "serve-bench":
+        from .serve.bench import serve_bench_main
+
+        return serve_bench_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",

@@ -246,6 +246,26 @@ class AdviceSchema(abc.ABC):
     def decode(self, graph: LocalGraph, advice: Mapping[Node, str]) -> DecodeResult:
         """Recover a solution from the labeled graph (LOCAL algorithm)."""
 
+    # -- per-view decoding (the serving path) --------------------------------
+
+    def view_decoder(self) -> Optional[Callable]:
+        """The per-view decide function behind :meth:`decode`, if any.
+
+        Schemas whose decode is a view algorithm (gather a radius-``T``
+        ball, decide from the :class:`~repro.local.views.View` alone)
+        return that decide function here; it is what lets
+        :class:`repro.serve.AdviceService` answer a single ``query(node)``
+        by gathering only the node's ball — O(Δ^T) work, independent of
+        ``n`` — instead of re-running :meth:`decode` over the whole graph.
+        The function must produce the same label :meth:`decode` would for
+        every node; functions marked via
+        :func:`~repro.local.views.mark_order_invariant` additionally let
+        the service memoize answers across order-isomorphic balls.
+        ``None`` (the default) means the schema has no per-view decoder
+        and cannot be served query-at-a-time.
+        """
+        return None
+
     # -- locality contract ---------------------------------------------------
 
     def locality_contract(self, graph: LocalGraph) -> Optional[LocalityContract]:

@@ -200,6 +200,29 @@ def solve_profiled(
     return run, WorkProfile.from_records(ring.records)
 
 
+def make_service(
+    schema: "str | AdviceSchema",
+    graph: LocalGraph,
+    **service_options: object,
+) -> "AdviceService":
+    """Stand up an :class:`repro.serve.AdviceService` for ``schema``.
+
+    The service encodes once (packing the advice through the Section 4
+    bitstream) and then answers ``query(node)`` / ``query_batch(nodes)``
+    from radius-``T`` ball gathers only — O(Δ^T) per query, independent of
+    n.  Requires the schema to expose a :meth:`AdviceSchema.view_decoder`;
+    schemas whose decode is not per-view raise
+    :class:`repro.serve.ServeError`.  Keyword options (``sample_rate``,
+    ``slo``, ``registry``, ``clock``, ``engine``, ...) pass straight
+    through to the :class:`~repro.serve.AdviceService` constructor.
+    """
+    from ..serve import AdviceService
+
+    if isinstance(schema, str):
+        schema = make_schema(schema)
+    return AdviceService(schema, graph, **service_options)
+
+
 def compress_edges(
     graph: LocalGraph,
     subset: Iterable[Tuple[Node, Node]],

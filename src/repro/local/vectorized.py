@@ -457,15 +457,27 @@ class BallBatch:
 
     def _build_advice(self) -> list:
         advice = self.advice
-        by_idx = [advice.get(v, "") for v in self.graph.compiled.nodes]
-        return [by_idx[i] for i in self.ball_nodes.tolist()]
+        nodes = self.graph.compiled.nodes
+        idx = self.ball_nodes.tolist()
+        if len(idx) < len(nodes):
+            # Roots-subset batch (the serving path): touch only the ball
+            # entries.  Building the dense by-index table would cost O(n)
+            # per batch — the very scaling the per-query O(Δ^T) bound rules
+            # out.
+            return [advice.get(nodes[i], "") for i in idx]
+        by_idx = [advice.get(v, "") for v in nodes]
+        return [by_idx[i] for i in idx]
 
     def _build_input(self) -> Optional[list]:
         inputs = self.graph._inputs
         if not inputs:
             return None  # sentinel: every input is None, use dict.fromkeys
-        by_idx = [inputs.get(v) for v in self.graph.compiled.nodes]
-        return [by_idx[i] for i in self.ball_nodes.tolist()]
+        nodes = self.graph.compiled.nodes
+        idx = self.ball_nodes.tolist()
+        if len(idx) < len(nodes):
+            return [inputs.get(nodes[i]) for i in idx]
+        by_idx = [inputs.get(v) for v in nodes]
+        return [by_idx[i] for i in idx]
 
     def _build_edge_ptr(self) -> list:
         return self.edge_arrays()[0].tolist()

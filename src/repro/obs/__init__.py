@@ -25,6 +25,12 @@ Three pieces, designed to stay out of the hot path until asked for:
   the shared deterministic-metric tolerance semantics.
 * :mod:`repro.obs.report` — the unified dashboard
   (``python -m repro report``) and the cross-PR perf history.
+* :mod:`repro.obs.live` — streaming serving telemetry for
+  :mod:`repro.serve`: hash-based head sampling (``SamplingTracer``),
+  rolling quantiles (``SlidingWindowHistogram``), bounded-cardinality
+  per-tenant metric shards (``TenantShards``), SLO objectives with
+  error-budget burn (``SloPolicy``/``SloMonitor``), and the Prometheus
+  text-format exporter.
 """
 
 from .bandwidth import (
@@ -58,6 +64,16 @@ from .failure import (
     view_fingerprint,
 )
 from .churn import ChurnReport, MutationRecord
+from .live import (
+    SamplingTracer,
+    SlidingWindowHistogram,
+    SloMonitor,
+    SloPolicy,
+    TenantShards,
+    build_slo_report,
+    prometheus_text,
+    write_prometheus,
+)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .profile import WorkProfile, parse_collapsed, profile_run
 from .report import build_provenance, collect_report, render_markdown
@@ -100,7 +116,12 @@ __all__ = [
     "RepairAction",
     "RingSink",
     "RobustnessReport",
+    "SamplingTracer",
+    "SlidingWindowHistogram",
+    "SloMonitor",
+    "SloPolicy",
     "Span",
+    "TenantShards",
     "Tracer",
     "WorkProfile",
     "allowed_drift",
@@ -109,6 +130,7 @@ __all__ = [
     "build_error_report",
     "build_order_violation_report",
     "build_provenance",
+    "build_slo_report",
     "build_violation_reports",
     "collect_report",
     "current_bandwidth_policy",
@@ -122,8 +144,10 @@ __all__ = [
     "parse_collapsed",
     "parse_policy",
     "profile_run",
+    "prometheus_text",
     "render_markdown",
     "use_bandwidth_policy",
     "span_tree",
     "view_fingerprint",
+    "write_prometheus",
 ]

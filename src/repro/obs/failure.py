@@ -50,8 +50,11 @@ class FailureReport:
     ``kind`` is ``"violation"`` (the verifier rejected the node's
     neighborhood), ``"decode-error"`` (the decoder raised before
     producing a labeling), ``"order-invariance"`` (the §8 contract
-    fuzzer caught an id-dependent label), or ``"bandwidth-exceeded"``
-    (a CONGEST edge overflowed its per-round bit budget).
+    fuzzer caught an id-dependent label), ``"bandwidth-exceeded"``
+    (a CONGEST edge overflowed its per-round bit budget), or
+    ``"slo-violation"`` (a serving window breached a declared
+    :class:`repro.obs.live.SloPolicy` objective — no single failing
+    node, so the node-attribution fields stay empty).
     """
 
     schema_name: str

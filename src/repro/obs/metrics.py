@@ -132,12 +132,16 @@ class Histogram:
         the small-integer quantities the schemas record (advice lengths,
         repair radii) the bucket bounds 0/1/2/4/... make this exact
         whenever the answer lands on a bucket boundary.  ``None`` on an
-        empty histogram.
+        empty histogram; exact when every observation was the same value
+        (the single-bucket degenerate case, where bucket resolution would
+        otherwise smear the answer across the whole bucket).
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile {q} outside [0, 1]")
         if self.count == 0:
             return None
+        if self.min == self.max:
+            return self.min
         target = max(1, math.ceil(q * self.count))
         cumulative = 0
         estimate = self.max
@@ -148,6 +152,29 @@ class Histogram:
                 break
         # min/max are tracked exactly; never report outside what was seen.
         return min(max(estimate, self.min), self.max)
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other`` into this histogram in place (and return ``self``).
+
+        Mergeability is what lets :class:`repro.obs.live.SlidingWindowHistogram`
+        keep per-window rings and answer rolling quantiles over their sum.
+        Requires identical bucket bounds — merging histograms of different
+        resolutions silently loses information, so it is an error.
+        """
+        if other.buckets != self.buckets:
+            raise ValueError(
+                f"cannot merge histograms with different buckets: "
+                f"{self.buckets} vs {other.buckets}"
+            )
+        for i, count in enumerate(other.bucket_counts):
+            self.bucket_counts[i] += count
+        self.count += other.count
+        self.sum += other.sum
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+        return self
 
     def snapshot_value(self) -> Dict[str, object]:
         buckets = {}

@@ -53,6 +53,30 @@ HISTORY_METRICS: Sequence[str] = (
     "bits_on_wire",
 )
 
+#: Per-case serving metrics pinned in every history entry (rows keyed
+#: ``serving:<case>``).  Deterministic functions of (params, seed) — the
+#: seeded query stream and the radius-``T`` ball structure; wall-clock
+#: latency quantiles are deliberately excluded.
+SERVING_HISTORY_METRICS: Sequence[str] = (
+    "queries_total",
+    "views_gathered",
+    "bfs_node_visits",
+    "decide_calls",
+    "memo_hits",
+    "ball_p50",
+    "ball_max",
+)
+
+#: Fixed parameters of the report's embedded serving bench — small grids
+#: so ``repro report`` stays fast; the flagship sweep lives in
+#: ``python -m repro serve-bench``.
+SERVING_REPORT_PARAMS: Dict[str, object] = {
+    "sides": (24, 32),
+    "queries": 64,
+    "tenants": 2,
+    "sample_rate": 0.25,
+}
+
 
 def git_commit() -> str:
     """The current commit hash, or ``"unknown"`` outside a git checkout.
@@ -192,6 +216,7 @@ def collect_report(
     seed: int = 0,
     chaos_runs: int = 0,
     lint: bool = False,
+    serving: bool = True,
 ) -> Dict[str, object]:
     """Assemble the full dashboard payload (JSON-ready)."""
     from ..core.api import available_schemas
@@ -204,6 +229,15 @@ def collect_report(
         "ok": all(r.get("valid") and not r.get("reconciliation")
                   for r in records),
     }
+    if serving:
+        from ..serve.bench import run_serve_bench
+
+        payload["serving"] = run_serve_bench(
+            seed=seed, **SERVING_REPORT_PARAMS
+        )
+        payload["ok"] = payload["ok"] and all(
+            c.get("reconciled") for c in payload["serving"]["cases"]
+        )
     if chaos_runs > 0:
         payload["robustness"] = _chaos_summary(
             chaos_runs, seed, max(48, n // 2), schemas
@@ -219,7 +253,13 @@ def collect_report(
 
 
 def history_snapshot(report: Mapping[str, object]) -> Dict[str, object]:
-    """Compact per-schema deterministic-metric entry for the history file."""
+    """Compact per-schema deterministic-metric entry for the history file.
+
+    Serving-bench cases (when the report carries a ``serving`` section)
+    enter as additional rows keyed ``serving:<case>`` with the
+    :data:`SERVING_HISTORY_METRICS` counters, so the same drift gate pins
+    the query-serving path.
+    """
     metrics: Dict[str, Dict[str, object]] = {}
     for record in report.get("schemas", []):
         name = str(record.get("schema"))
@@ -230,6 +270,14 @@ def history_snapshot(report: Mapping[str, object]) -> Dict[str, object]:
             if isinstance(value, (int, float)) and not isinstance(value, bool):
                 row[metric] = value
         metrics[name] = row
+    serving = report.get("serving") or {}
+    for case in serving.get("cases", []):
+        row = {"valid": bool(case.get("reconciled"))}
+        for metric in SERVING_HISTORY_METRICS:
+            value = case.get(metric)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                row[metric] = value
+        metrics[f"serving:{case.get('case')}"] = row
     return {"provenance": report.get("provenance", {}), "metrics": metrics}
 
 
@@ -258,7 +306,8 @@ def check_history_drift(
     metric that *disappears* from a schema's row is.
     """
     tolerances = tolerances if tolerances is not None else {
-        m: DETERMINISTIC_TOLERANCES.get(m, 0.0) for m in HISTORY_METRICS
+        m: DETERMINISTIC_TOLERANCES.get(m, 0.0)
+        for m in (*HISTORY_METRICS, *SERVING_HISTORY_METRICS)
     }
     problems: List[str] = []
     last_metrics = last.get("metrics", {})
@@ -454,6 +503,45 @@ def render_markdown(report: Mapping[str, object]) -> str:
         )
         lines.append("")
 
+    serving = report.get("serving")
+    if serving:
+        lines += ["", "## Serving (per-query decode)", ""]
+        lines.append(
+            "One `AdviceService` per grid size answers a seeded query "
+            "stream from radius-T ball gathers only — O(Δ^T) per query, "
+            "independent of n.  The deterministic per-query work (BFS "
+            "visits/query) staying flat across sizes is the paper's "
+            "serving claim; wall latencies are informational."
+        )
+        lines.append("")
+        serving_headers = (
+            "case", "n", "queries", "bfs visits/query", "ball p50",
+            "memo hits", "p50 µs", "p95 µs", "reconciled",
+        )
+        lines.append("| " + " | ".join(serving_headers) + " |")
+        lines.append("|" + "---|" * len(serving_headers))
+        for case in serving.get("cases", []):
+            lat = case.get("latency_us", {})
+            lines.append(
+                "| " + " | ".join(str(x) for x in (
+                    case.get("case"), case.get("n"),
+                    case.get("queries_total"),
+                    case.get("bfs_visits_per_query"),
+                    case.get("ball_p50"), case.get("memo_hits"),
+                    lat.get("p50"), lat.get("p95"),
+                    "yes" if case.get("reconciled") else "NO",
+                )) + " |"
+            )
+        flatness = serving.get("flatness", {})
+        lines.append("")
+        lines.append(
+            f"- flatness: bfs-visits/query ratio "
+            f"{flatness.get('visit_ratio')} across "
+            f"n={[c.get('n') for c in serving.get('cases', [])]}, "
+            f"wall-latency ratio {flatness.get('latency_ratio')}"
+        )
+        lines.append("")
+
     robustness = report.get("robustness")
     if robustness:
         lines += ["## Robustness (seeded chaos campaign)", ""]
@@ -589,6 +677,10 @@ def report_main(argv: Optional[List[str]] = None) -> int:
         "--lint", action="store_true",
         help="include a static LOCAL-contract lint summary",
     )
+    parser.add_argument(
+        "--no-serving", action="store_true",
+        help="skip the embedded serving bench (the ## Serving section)",
+    )
     args = parser.parse_args(argv)
 
     report = collect_report(
@@ -597,6 +689,7 @@ def report_main(argv: Optional[List[str]] = None) -> int:
         seed=args.seed,
         chaos_runs=args.chaos_runs,
         lint=args.lint,
+        serving=not args.no_serving,
     )
 
     if args.json:

@@ -93,15 +93,25 @@ class JsonlSink(Sink):
     Non-JSON-serializable attribute values (e.g. tuple node names) are
     rendered through ``repr`` rather than rejected — a trace must never be
     the thing that crashes a run.
+
+    Each record is written as one line in a single line-buffered write, so
+    a process that dies mid-run (``os._exit``, SIGKILL, OOM) leaves only
+    whole JSON lines behind — the span-export guarantee the serving path
+    relies on.  ``flush()`` forces buffered lines to the OS at a safe
+    point; ``close()`` (also via ``with``) flushes and closes.
     """
 
     def __init__(self, path: str) -> None:
         self.path = path
-        self._fh = open(path, "w")
+        # Line buffering: a record is either fully on disk or absent.
+        self._fh = open(path, "w", buffering=1)
 
     def emit(self, record: Dict[str, object]) -> None:
-        self._fh.write(json.dumps(record, default=repr))
-        self._fh.write("\n")
+        self._fh.write(json.dumps(record, default=repr) + "\n")
+
+    def flush(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
 
     def close(self) -> None:
         if not self._fh.closed:

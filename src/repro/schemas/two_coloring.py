@@ -78,6 +78,11 @@ class TwoColoringSchema(AdviceSchema):
         # node sees an anchor at that distance); beta: one color bit.
         return LocalityContract(radius=self.spacing - 1, advice_bits=1)
 
+    def view_decoder(self):
+        # The same decide function decode() runs graph-wide; exposing it
+        # lets repro.serve answer per-node queries from a single ball.
+        return mark_order_invariant(_nearest_anchor_color)
+
     def encode(self, graph: LocalGraph) -> AdviceMap:
         coloring = _bipartition(graph)
         advice: AdviceMap = {v: "" for v in graph.nodes()}

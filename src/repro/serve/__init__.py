@@ -1,0 +1,34 @@
+"""Advice-as-a-service: encode once, serve per-node decode queries.
+
+ROADMAP item 1 made concrete: :class:`AdviceService` performs the
+centralized encode a single time (packing the advice through the
+Section 4 bitstream wire format) and then answers ``query(node)`` /
+``query_batch(nodes)`` by gathering only the queried nodes' radius-``T``
+balls — O(Δ^T) per query, independent of n, which is the paper's serving
+claim.  Streaming telemetry (sampled per-query tracing, sliding-window
+latency/ball-size quantiles, bounded-cardinality per-tenant shards, SLO
+monitoring, Prometheus/JSONL export) lives in :mod:`repro.obs.live`;
+``python -m repro serve-bench`` (:mod:`repro.serve.bench`) is the
+open-loop load generator that measures the flat latency-vs-n curve.
+"""
+
+from .bench import DEFAULT_SIDES, SERVING_TOLERANCES, run_serve_bench, serve_bench_main
+from .service import (
+    BALL_SIZE_BUCKETS,
+    LATENCY_BUCKETS_SECONDS,
+    AdviceService,
+    QueryResult,
+    ServeError,
+)
+
+__all__ = [
+    "AdviceService",
+    "BALL_SIZE_BUCKETS",
+    "DEFAULT_SIDES",
+    "LATENCY_BUCKETS_SECONDS",
+    "QueryResult",
+    "ServeError",
+    "SERVING_TOLERANCES",
+    "run_serve_bench",
+    "serve_bench_main",
+]

@@ -1,0 +1,484 @@
+"""Serving telemetry (repro.obs.live) and the AdviceService query path.
+
+The acceptance properties of the serving subsystem:
+
+* per-query answers are bit-identical to a cold ``solve_with_advice``
+  full-graph decode;
+* per-query deterministic work (BFS visits per query) stays flat as n
+  grows at fixed Δ — the paper's O(Δ^T) serving claim;
+* ``queries_total`` = Σ tenant shards = sampled + unsampled, exactly;
+* sampling is a pure function of (seed, rate, key): same seed + logical
+  clock ⇒ identical sampled span sets across runs;
+* the unsampled path costs < 10% over a sampling-disabled service.
+"""
+
+import time
+
+import pytest
+
+from repro.core.api import make_service, solve_with_advice
+from repro.graphs.generators import grid
+from repro.local.graph import LocalGraph
+from repro.obs.live import (
+    SamplingTracer,
+    SlidingWindowHistogram,
+    SloMonitor,
+    SloPolicy,
+    TenantShards,
+    prometheus_text,
+    write_prometheus,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, LogicalClock, RingSink, Tracer
+from repro.schemas.two_coloring import TwoColoringSchema
+from repro.serve import AdviceService, ServeError, run_serve_bench
+
+
+def make_grid_service(side=16, **options):
+    graph = LocalGraph(grid(side, side), seed=0)
+    options.setdefault("sample_rate", 0.5)
+    options.setdefault("clock", LogicalClock())
+    return AdviceService(TwoColoringSchema(spacing=8), graph, **options), graph
+
+
+class ListSink:
+    def __init__(self):
+        self.records = []
+
+    def emit(self, record):
+        self.records.append(dict(record))
+
+    def close(self):
+        pass
+
+
+# ---------------------------------------------------------------------------
+# SamplingTracer
+# ---------------------------------------------------------------------------
+
+
+class TestSamplingTracer:
+    def test_decision_is_deterministic_across_instances(self):
+        a = SamplingTracer(NULL_TRACER, rate=0.3, seed=5)
+        b = SamplingTracer(NULL_TRACER, rate=0.3, seed=5)
+        keys = range(2000)
+        set_a = {k for k in keys if a.sampled(k)}
+        set_b = {k for k in keys if b.sampled(k)}
+        assert set_a == set_b
+        # and roughly the configured fraction
+        assert 0.25 < len(set_a) / 2000 < 0.35
+
+    def test_different_seed_different_set(self):
+        a = SamplingTracer(NULL_TRACER, rate=0.3, seed=0)
+        b = SamplingTracer(NULL_TRACER, rate=0.3, seed=1)
+        assert {k for k in range(500) if a.sampled(k)} != \
+            {k for k in range(500) if b.sampled(k)}
+
+    def test_rate_zero_and_one(self):
+        never = SamplingTracer(NULL_TRACER, rate=0.0)
+        always = SamplingTracer(NULL_TRACER, rate=1.0)
+        assert not any(never.sampled(k) for k in range(100))
+        assert all(always.sampled(k) for k in range(100))
+
+    def test_for_query_routes_and_counts(self):
+        base = Tracer(RingSink(), clock=LogicalClock())
+        sampler = SamplingTracer(base, rate=1.0)
+        assert sampler.for_query(1) is base
+        none = SamplingTracer(base, rate=0.0)
+        assert none.for_query(1) is NULL_TRACER
+        assert sampler.sampled_total == 1 and sampler.unsampled_total == 0
+        assert none.sampled_total == 0 and none.unsampled_total == 1
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            SamplingTracer(NULL_TRACER, rate=1.5)
+
+
+# ---------------------------------------------------------------------------
+# SlidingWindowHistogram
+# ---------------------------------------------------------------------------
+
+
+class TestSlidingWindowHistogram:
+    def test_rotation_evicts_old_windows(self):
+        w = SlidingWindowHistogram(window_size=10, windows=2)
+        for v in range(100):
+            w.observe(100.0)  # old regime
+        for _ in range(20):
+            w.observe(1.0)  # new regime fills both retained windows
+        assert w.count == 20
+        assert w.quantile(0.99) <= 2  # the old regime has rotated out
+        assert w.observed_total == 120
+
+    def test_merged_matches_direct_within_coverage(self):
+        from repro.obs.metrics import Histogram
+
+        w = SlidingWindowHistogram(window_size=50, windows=4)
+        direct = Histogram(w.buckets)
+        for v in range(120):  # under 200 = full coverage, no eviction
+            w.observe(v % 37)
+            direct.observe(v % 37)
+        assert w.merged().snapshot_value() == direct.snapshot_value()
+
+    def test_snapshot_has_rolling_fields(self):
+        clock = LogicalClock()
+        w = SlidingWindowHistogram(window_size=4, windows=2, clock=clock)
+        for v in (1, 2, 3, 4, 5):
+            w.observe(v)
+        snap = w.snapshot_value()
+        assert snap["windows"] == 2 and snap["window_size"] == 4
+        assert snap["observed_total"] == 5
+        assert snap["p99"] is not None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlidingWindowHistogram(window_size=0)
+        with pytest.raises(ValueError):
+            SlidingWindowHistogram(windows=0)
+
+
+# ---------------------------------------------------------------------------
+# TenantShards
+# ---------------------------------------------------------------------------
+
+
+class TestTenantShards:
+    def test_first_k_tenants_get_own_shard_rest_overflow(self):
+        shards = TenantShards(MetricsRegistry(), max_tenants=2)
+        assert shards.label("a") == "a"
+        assert shards.label("b") == "b"
+        assert shards.label("c") == TenantShards.OVERFLOW
+        assert shards.label("d") == TenantShards.OVERFLOW
+        # sticky: repeats keep their assignment
+        assert shards.label("a") == "a"
+        assert shards.label("c") == TenantShards.OVERFLOW
+        assert shards.labels() == ["__other__", "a", "b"]
+
+    def test_shard_sum_equals_total_regardless_of_order(self):
+        registry = MetricsRegistry()
+        shards = TenantShards(registry, max_tenants=2)
+        total = registry.counter("queries_total")
+        for tenant in ["x", "y", "z", "x", "w", "z", "y", "q"]:
+            total.inc()
+            shards.counter("queries_total", tenant).inc()
+        snap = registry.snapshot()
+        shard_sum = sum(
+            snap[f"queries_total{{tenant={label}}}"]
+            for label in shards.labels()
+        )
+        assert shard_sum == snap["queries_total"] == 8
+
+
+# ---------------------------------------------------------------------------
+# SLOs
+# ---------------------------------------------------------------------------
+
+
+class TestSloMonitor:
+    def test_latency_breach_emits_failure_report(self):
+        policy = SloPolicy(latency_quantile=0.95, latency_target=1.0,
+                           max_error_rate=1.0, window=10)
+        monitor = SloMonitor(policy, schema_name="2-coloring")
+        breaches = []
+        for _ in range(10):
+            breaches += monitor.record(50.0)
+        assert len(breaches) == 1
+        report = breaches[0]
+        assert report.kind == "slo-violation"
+        assert report.schema_name == "2-coloring"
+        assert "latency over target" in report.error
+        assert monitor.registry.snapshot()["slo_violations_total"] == 1
+
+    def test_error_rate_breach(self):
+        policy = SloPolicy(latency_target=1e9, max_error_rate=0.1, window=10)
+        monitor = SloMonitor(policy)
+        breaches = []
+        for i in range(10):
+            breaches += monitor.record(0.0, error=(i < 2))  # 20% > 10%
+        assert len(breaches) == 1
+        assert "error rate over budget" in breaches[0].error
+
+    def test_within_objectives_no_breach(self):
+        policy = SloPolicy(latency_target=10.0, max_error_rate=0.5, window=5)
+        monitor = SloMonitor(policy)
+        for _ in range(20):
+            assert monitor.record(1.0) == []
+        assert monitor.violations == []
+        assert monitor.snapshot_value()["windows_closed"] == 4
+
+    def test_error_budget_burn(self):
+        policy = SloPolicy(latency_target=1e9, max_error_rate=0.1, window=100)
+        monitor = SloMonitor(policy)
+        for i in range(50):
+            monitor.record(0.0, error=(i < 10))  # 10 errors, 5 allowed
+        budget = monitor.budget()
+        assert budget["allowed"] == pytest.approx(5.0)
+        assert budget["spent"] == 10.0
+        assert budget["remaining"] == pytest.approx(-5.0)
+        assert budget["burn_rate"] == pytest.approx(2.0)
+
+
+# ---------------------------------------------------------------------------
+# Prometheus exporter
+# ---------------------------------------------------------------------------
+
+
+class TestPrometheusText:
+    def test_renders_all_kinds(self):
+        registry = MetricsRegistry()
+        registry.counter("queries_total").inc(3)
+        registry.counter("queries_total", tenant="acme").inc(2)
+        registry.gauge("memo_size").set(7)
+        registry.histogram("latency", buckets=(1, 2)).observe(1.5)
+        text = prometheus_text(registry)
+        assert "# TYPE repro_queries_total counter" in text
+        assert "repro_queries_total 3" in text
+        assert 'repro_queries_total{tenant="acme"} 2' in text
+        assert "# TYPE repro_memo_size gauge" in text
+        assert "repro_memo_size 7" in text
+        assert "# TYPE repro_latency histogram" in text
+        assert 'repro_latency_bucket{le="1"} 0' in text
+        assert 'repro_latency_bucket{le="2"} 1' in text
+        assert 'repro_latency_bucket{le="+Inf"} 1' in text
+        assert "repro_latency_sum 1.5" in text
+        assert "repro_latency_count 1" in text
+
+    def test_output_is_stable(self):
+        def build():
+            registry = MetricsRegistry()
+            registry.counter("b_total").inc()
+            registry.counter("a_total", tenant="t").inc(2)
+            return registry
+
+        assert prometheus_text(build()) == prometheus_text(build())
+
+    def test_write_prometheus(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("x_total").inc()
+        path = tmp_path / "metrics.prom"
+        write_prometheus(registry, str(path))
+        assert path.read_text() == prometheus_text(registry)
+
+    def test_name_sanitized_and_namespace(self):
+        registry = MetricsRegistry()
+        registry.counter("weird-name.total").inc()
+        text = prometheus_text(registry, namespace="svc")
+        assert "svc_weird_name_total 1" in text
+
+
+# ---------------------------------------------------------------------------
+# AdviceService
+# ---------------------------------------------------------------------------
+
+
+class TestAdviceService:
+    def test_answers_bit_identical_to_cold_full_decode(self):
+        # The flagship grid instance (n = 4096): every served answer must
+        # equal what a cold encode + full-graph decode computes.
+        graph = LocalGraph(grid(64, 64), seed=0)
+        service = AdviceService(
+            TwoColoringSchema(spacing=8), graph, sample_rate=0.25,
+            clock=LogicalClock(),
+        )
+        cold = solve_with_advice(TwoColoringSchema(spacing=8), graph)
+        assert cold.valid
+        import random
+
+        rng = random.Random(0)
+        nodes = sorted(graph.nodes(), key=graph.id_of)
+        sample = [nodes[rng.randrange(len(nodes))] for _ in range(150)]
+        for i, v in enumerate(sample):
+            result = service.query(v, tenant=f"tenant-{i % 3}")
+            assert result.label == cold.result.labeling[v]
+        # and via batches too
+        batch = service.query_batch(sample[:20], tenant="batch")
+        for r in batch:
+            assert r.label == cold.result.labeling[r.node]
+
+    def test_counters_reconcile_exactly(self):
+        service, _ = make_grid_service(side=16, max_tenants=3)
+        import random
+
+        rng = random.Random(1)
+        nodes = sorted(service.graph.nodes(), key=service.graph.id_of)
+        for i in range(120):
+            service.query(
+                nodes[rng.randrange(len(nodes))],
+                tenant=f"tenant-{rng.randrange(8)}",  # forces overflow shard
+            )
+        snap = service.registry.snapshot()
+        total = snap["queries_total"]
+        shard_sum = sum(
+            snap[f"queries_total{{tenant={label}}}"]
+            for label in service.shards.labels()
+        )
+        sampled = snap.get("queries_sampled_total", 0)
+        unsampled = snap.get("queries_unsampled_total", 0)
+        assert total == 120
+        assert shard_sum == total
+        assert sampled + unsampled == total
+        assert TenantShards.OVERFLOW in service.shards.labels()
+        assert service.sampler.sampled_total == sampled
+        assert service.sampler.unsampled_total == unsampled
+
+    def test_per_query_work_flat_as_n_grows(self):
+        # The acceptance sweep: n = 4k -> 16k -> 64k at fixed Δ = 4.  The
+        # deterministic per-query BFS work must stay flat (the small drift
+        # is boundary balls becoming rarer as n grows).
+        report = run_serve_bench(sides=(64, 128, 256), queries=32, seed=0)
+        ratio = report["flatness"]["visit_ratio"]
+        assert ratio is not None and ratio <= 1.25
+        for case in report["cases"]:
+            assert case["reconciled"]
+            assert case["ball_p50"] == 113  # interior radius-7 grid ball
+
+    def test_sampled_span_sets_reproduce_across_runs(self):
+        def run():
+            sink = ListSink()
+            service, graph = make_grid_service(
+                side=12, sample_rate=0.4, sample_seed=7, span_sink=sink,
+            )
+            nodes = sorted(graph.nodes(), key=graph.id_of)
+            flags = [
+                service.query(nodes[i % len(nodes)]).sampled
+                for i in range(60)
+            ]
+            service.close()
+            return flags, sink.records
+
+        flags_a, records_a = run()
+        flags_b, records_b = run()
+        assert flags_a == flags_b
+        assert any(flags_a) and not all(flags_a)
+        assert records_a == records_b  # logical clock ⇒ bit-identical spans
+        span_names = {r["name"] for r in records_a if r["kind"] == "span"}
+        assert {"query", "gather", "decode"} <= span_names
+
+    def test_unsampled_overhead_under_ten_percent(self):
+        # sample_rate=0.0 pays one blake2b per query vs sample_rate=None
+        # (no sampling machinery at all); the gather dominates both.
+        graph = LocalGraph(grid(24, 24), seed=0)
+        nodes = sorted(graph.nodes(), key=graph.id_of)
+
+        def timed(rate):
+            service = AdviceService(
+                TwoColoringSchema(spacing=8), graph, sample_rate=rate
+            )
+            for v in nodes[:30]:  # warm the memo identically
+                service.query(v)
+            best = float("inf")
+            for _ in range(3):
+                t0 = time.perf_counter()
+                for i in range(300):
+                    service.query(nodes[i % len(nodes)])
+                best = min(best, time.perf_counter() - t0)
+            return best
+
+        baseline = timed(None)
+        unsampled = timed(0.0)
+        assert unsampled <= baseline * 1.10
+
+    def test_memoization_shares_answers_across_queries(self):
+        service, graph = make_grid_service(side=16)
+        center = sorted(graph.nodes(), key=graph.id_of)[40]
+        first = service.query(center)
+        second = service.query(center)
+        assert not first.cache_hit and second.cache_hit
+        assert first.label == second.label
+        assert service.memo_size >= 1
+        assert service.registry.snapshot()["memo_hits_total"] >= 1
+
+    def test_invalid_advice_counts_errors_and_reraises(self):
+        from repro.advice.schema import InvalidAdvice
+
+        policy = SloPolicy(latency_target=1e9, max_error_rate=0.0, window=1)
+        service, graph = make_grid_service(side=16, slo=policy)
+        # Blank out the served advice: no anchors are visible in any ball.
+        service.advice = {v: "" for v in service.advice}
+        node = sorted(graph.nodes(), key=graph.id_of)[0]
+        with pytest.raises(InvalidAdvice):
+            service.query(node, tenant="acme")
+        snap = service.registry.snapshot()
+        assert snap["query_errors_total"] == 1
+        assert snap["queries_total"] == 1
+        assert snap["queries_total{tenant=acme}"] == 1
+        assert service.slo.errors_total == 1
+        assert any(
+            "error rate over budget" in r.error
+            for r in service.slo.violations
+        )
+
+    def test_slo_violations_surface_in_snapshot(self):
+        policy = SloPolicy(
+            latency_quantile=0.5, latency_target=0.5, window=4,
+        )
+        # Logical clock: each query's latency is a fixed number of ticks
+        # (>= 1), so every window breaches the 0.5-tick target.
+        service, graph = make_grid_service(side=12, slo=policy)
+        nodes = sorted(graph.nodes(), key=graph.id_of)
+        for i in range(8):
+            service.query(nodes[i])
+        snap = service.snapshot()
+        assert snap["slo"]["windows_closed"] == 2
+        assert snap["slo"]["violations"] >= 2
+        assert service.registry.snapshot()["slo_violations_total"] >= 2
+
+    def test_snapshot_and_prometheus_round_out(self):
+        import json
+
+        service, _ = make_grid_service(side=12)
+        nodes = sorted(service.graph.nodes(), key=service.graph.id_of)
+        for v in nodes[:10]:
+            service.query(v)
+        snap = service.snapshot()
+        assert snap["schema"] == "two-coloring"
+        assert snap["n"] == 144 and snap["radius"] == 7
+        assert snap["packed_advice_bits"] > 0
+        assert snap["metrics"]["queries_total"] == 10
+        assert snap["latency"]["observed_total"] == 10
+        assert snap["ball_size"]["p99"] <= 113
+        assert snap["sampling"]["sampled_total"] + \
+            snap["sampling"]["unsampled_total"] == 10
+        json.dumps(snap)  # JSON-ready
+        text = service.prometheus()
+        assert "repro_queries_total 10" in text
+
+    def test_engines_agree(self):
+        from repro.local.vectorized import numpy_available
+
+        if not numpy_available():
+            pytest.skip("numpy unavailable")
+        graph = LocalGraph(grid(12, 12), seed=0)
+        nodes = sorted(graph.nodes(), key=graph.id_of)[:25]
+        vec = AdviceService(
+            TwoColoringSchema(spacing=8), graph, engine="vectorized",
+            sample_rate=None,
+        )
+        scal = AdviceService(
+            TwoColoringSchema(spacing=8), graph, engine="scalar",
+            sample_rate=None,
+        )
+        for v in nodes:
+            assert vec.query(v).label == scal.query(v).label
+        # the deterministic work counters are engine-independent too
+        assert vec.stats.views_gathered == scal.stats.views_gathered
+        assert vec.stats.bfs_node_visits == scal.stats.bfs_node_visits
+        assert vec.stats.decide_calls == scal.stats.decide_calls
+
+    def test_make_service_facade(self):
+        graph = LocalGraph(grid(12, 12), seed=0)
+        service = make_service("2-coloring", graph, sample_rate=None)
+        node = sorted(graph.nodes(), key=graph.id_of)[5]
+        assert service.query(node).label in (1, 2)
+
+    def test_unservable_schema_raises(self):
+        from repro.graphs.generators import cycle
+
+        graph = LocalGraph(cycle(16), seed=0)
+        with pytest.raises(ServeError, match="per-view decoder"):
+            make_service("balanced-orientation", graph)
+
+    def test_empty_batch_is_empty(self):
+        service, _ = make_grid_service(side=12)
+        assert service.query_batch([]) == []
+        assert service.registry.snapshot() == {}

@@ -79,6 +79,68 @@ class TestHistogram:
         assert snap["p50"] is not None and snap["p95"] is not None
         assert snap["p50"] <= snap["p95"] <= snap["max"]
 
+    def test_quantile_single_observation_is_exact(self):
+        h = Histogram(buckets=(100,))
+        h.observe(7)
+        # One observation far below its bucket bound: every quantile is
+        # that observation, not the bucket's upper bound.
+        assert h.quantile(0.0) == 7
+        assert h.quantile(0.5) == 7
+        assert h.quantile(1.0) == 7
+
+    def test_quantile_degenerate_data_is_exact(self):
+        h = Histogram(buckets=(1, 1000))
+        for _ in range(5):
+            h.observe(42)
+        assert h.quantile(0.5) == 42
+        assert h.quantile(0.99) == 42
+
+
+class TestHistogramMerge:
+    def test_merge_folds_counts_sum_and_range(self):
+        a, b = Histogram(), Histogram()
+        for v in (0, 1, 2):
+            a.observe(v)
+        for v in (16, 64):
+            b.observe(v)
+        result = a.merge(b)
+        assert result is a
+        assert a.count == 5
+        assert a.sum == 83
+        assert a.min == 0 and a.max == 64
+
+    def test_merge_equals_observing_everything_in_one(self):
+        import random
+
+        rng = random.Random(7)
+        values = [rng.uniform(0, 200) for _ in range(100)]
+        merged = Histogram()
+        for chunk_start in range(0, 100, 25):
+            part = Histogram()
+            for v in values[chunk_start:chunk_start + 25]:
+                part.observe(v)
+            merged.merge(part)
+        direct = Histogram()
+        for v in values:
+            direct.observe(v)
+        assert merged.snapshot_value() == direct.snapshot_value()
+        for q in (0.1, 0.5, 0.9, 0.99):
+            assert merged.quantile(q) == direct.quantile(q)
+
+    def test_merge_empty_is_identity(self):
+        h = Histogram()
+        h.observe(3)
+        before = h.snapshot_value()
+        h.merge(Histogram())
+        assert h.snapshot_value() == before
+        empty = Histogram()
+        empty.merge(h)
+        assert empty.snapshot_value() == before
+
+    def test_merge_rejects_different_buckets(self):
+        with pytest.raises(ValueError, match="different buckets"):
+            Histogram(buckets=(1, 2)).merge(Histogram(buckets=(1, 2, 4)))
+
 
 class TestRegistry:
     def test_get_or_create_same_instance(self):

@@ -109,10 +109,19 @@ class TestHistory:
         assert len(history) == 1
         entry = history[0]
         assert set(entry) == {"provenance", "metrics"}
-        assert set(entry["metrics"]) == set(SUBSET)
+        serving_rows = {
+            f"serving:{c['case']}"
+            for c in subset_report["serving"]["cases"]
+        }
+        assert set(entry["metrics"]) == set(SUBSET) | serving_rows
         row = entry["metrics"]["2-coloring"]
         assert row["valid"] is True
         assert row["beta"] == 1 and row["rounds"] > 0
+        for name in serving_rows:
+            serving_row = entry["metrics"][name]
+            assert serving_row["valid"] is True
+            assert serving_row["queries_total"] > 0
+            assert serving_row["bfs_node_visits"] > 0
 
     def test_clean_reappend_and_drift_rejection(self, subset_report, tmp_path):
         path = str(tmp_path / "BENCH_history.json")

@@ -1,6 +1,7 @@
 """Unit tests for repro.obs.trace: spans, events, sinks, no-op default."""
 
 import json
+import os
 
 import pytest
 
@@ -169,6 +170,58 @@ class TestJsonlSink:
         with open(path) as fh:
             for line in fh:
                 json.loads(line)
+
+    def test_flush_makes_records_visible_before_close(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        sink = JsonlSink(path)
+        tracer = Tracer(sink)
+        with tracer.span("run"):
+            pass
+        sink.flush()
+        assert len(load_jsonl(path)) == 1  # visible while still open
+        tracer.close()
+
+    def test_exit_flushes(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with JsonlSink(path) as sink:
+            sink.emit({"kind": "event", "name": "x"})
+        assert load_jsonl(path) == [{"kind": "event", "name": "x"}]
+
+    def test_killed_mid_run_leaves_only_whole_lines(self, tmp_path):
+        # A serving process dying mid-export (os._exit skips every
+        # buffered-IO flush, like SIGKILL) must not leave a torn JSON
+        # line: the sink is line-buffered, so each record reaches the OS
+        # whole or not at all.
+        import subprocess
+        import sys
+        import textwrap
+
+        path = tmp_path / "trace.jsonl"
+        script = textwrap.dedent(
+            """
+            import os, sys
+            from repro.obs.trace import JsonlSink, Tracer
+            tracer = Tracer(JsonlSink(sys.argv[1]))
+            for i in range(50):
+                with tracer.span("query", i=i, pad="x" * 512):
+                    pass
+            os._exit(1)  # abrupt exit: no atexit, no buffer flush
+            """
+        )
+        import repro
+
+        src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        proc = subprocess.run(
+            [sys.executable, "-c", script, str(path)],
+            env={**os.environ, "PYTHONPATH": src},
+        )
+        assert proc.returncode == 1
+        with open(path) as fh:
+            lines = fh.readlines()
+        assert len(lines) == 50  # nothing lost in user-space buffers
+        for line in lines:
+            assert line.endswith("\n")
+            json.loads(line)  # and nothing torn
 
 
 class TestNullTracer:
